@@ -1,0 +1,107 @@
+package shortcuts
+
+import (
+	"testing"
+
+	"shortcuts/internal/analysis"
+	"shortcuts/internal/measure"
+	"shortcuts/internal/relays"
+	"shortcuts/internal/sim"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: each
+// switches one mechanism off (or re-parameterises it) and reports how the
+// headline metric and the measurement cost move. They document *why* the
+// system is built the way it is, in executable form.
+
+// BenchmarkAblationFeasibilityFilter removes the Section-2.4
+// speed-of-light relay pre-filter. The COR improved fraction must not
+// move — an improving relay satisfies the bound by definition, so the
+// filter can only exclude losers — while the number of stitched paths to
+// evaluate grows: the filter is an efficiency device, exactly as the
+// paper frames it.
+func BenchmarkAblationFeasibilityFilter(b *testing.B) {
+	w, _ := benchResults(b)
+	for i := 0; i < b.N; i++ {
+		base, err := measure.Run(w, measure.QuickConfig(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := measure.QuickConfig(1)
+		cfg.DisableFeasibilityFilter = true
+		cfg.DailyCreditLimit = 0 // the unfiltered round may blow the budget
+		ablated, err := measure.Run(w, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got, want := analysis.ImprovedFraction(ablated, relays.COR),
+			analysis.ImprovedFraction(base, relays.COR); got != want {
+			b.Fatalf("feasibility filter changed results: %.4f vs %.4f", got, want)
+		}
+		b.ReportMetric(analysis.ImprovedFraction(base, relays.COR)*100, "cor_pct")
+		b.ReportMetric(float64(base.RelayedPathsStudied()), "filtered_paths")
+		b.ReportMetric(float64(ablated.RelayedPathsStudied()), "unfiltered_paths")
+	}
+}
+
+// BenchmarkAblationSinglePing replaces the median-of-6 with a single ping
+// per pair. Medians exist to absorb spikes and loss; with one ping the
+// responsive fraction drops (any lost packet kills the pair) and the
+// improvement estimates pick up spike noise.
+func BenchmarkAblationSinglePing(b *testing.B) {
+	w, _ := benchResults(b)
+	for i := 0; i < b.N; i++ {
+		cfg := measure.QuickConfig(1)
+		cfg.PingsPerPair = 1
+		cfg.MinValidPings = 1
+		res, err := measure.Run(w, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ResponsiveFraction()*100, "responsive_pct")
+		b.ReportMetric(analysis.ImprovedFraction(res, relays.COR)*100, "cor_pct")
+	}
+}
+
+// BenchmarkAblationNoCongestionTail removes the pathological-path tail
+// (BadPathProb = 0). The >320 ms VoIP fraction and the >100 ms
+// improvement tail should collapse: the heavy tail of rescued paths is a
+// real phenomenon the substrate must model to match the paper.
+func BenchmarkAblationNoCongestionTail(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		wp := sim.DefaultWorldParams(1)
+		wp.Latency.BadPathProb = 0
+		w, err := sim.Build(wp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := measure.Run(w, measure.QuickConfig(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := analysis.VoIP(res)
+		b.ReportMetric(v.DirectOver*100, "direct_over320_pct")
+		b.ReportMetric(analysis.ImprovedOverFraction(res, relays.COR, 100)*100, "cor_over100_pct")
+	}
+}
+
+// BenchmarkAblationFlatGeography removes hot-potato inflation by pricing
+// paths at 1.0x geodesic directness. TIVs shrink toward pure policy
+// detours, cutting every relay type's improved fraction — geography is
+// where the shortcuts live.
+func BenchmarkAblationFlatGeography(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		wp := sim.DefaultWorldParams(1)
+		wp.Latency.RouteDirectness = 1.0
+		w, err := sim.Build(wp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := measure.Run(w, measure.QuickConfig(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(analysis.ImprovedFraction(res, relays.COR)*100, "cor_pct")
+		b.ReportMetric(analysis.MedianImprovementMs(res, relays.COR), "cor_median_ms")
+	}
+}

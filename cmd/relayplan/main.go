@@ -1,0 +1,64 @@
+// Command relayplan answers the operator question the paper closes with:
+// given a corridor (two countries), which relays actually help, and which
+// facilities should host them? It runs a short campaign and prints the
+// corridor's direct vs best-relayed RTTs plus a facility shortlist.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shortcuts"
+)
+
+func main() {
+	var (
+		seed   = flag.Int64("seed", 1, "world seed")
+		rounds = flag.Int("rounds", 6, "measurement rounds")
+		ccA    = flag.String("a", "", "first country (ISO code); empty = global plan")
+		ccB    = flag.String("b", "", "second country (ISO code)")
+		topK   = flag.Int("k", 10, "facility shortlist size")
+	)
+	flag.Parse()
+
+	campaign, err := shortcuts.NewCampaign(shortcuts.Config{Seed: *seed, Rounds: *rounds})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := campaign.Run()
+	if err != nil {
+		fatal(err)
+	}
+
+	if *ccA != "" && *ccB != "" {
+		obs := res.ObservationsBetween(*ccA, *ccB)
+		if len(obs) == 0 {
+			fmt.Printf("no observations between %s and %s\navailable: %v\n", *ccA, *ccB, res.Countries())
+			return
+		}
+		fmt.Printf("corridor %s <-> %s (%d observations):\n", *ccA, *ccB, len(obs))
+		for _, o := range obs {
+			fmt.Printf("  round %2d: direct %7.1f ms -> relayed %7.1f ms (%s)\n",
+				o.Round, o.DirectMs, o.BestRelayedMs, o.RelayID)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("global facility shortlist (top %d by improvement frequency):\n", *topK)
+	for _, row := range res.TopFacilities(*topK * 2) {
+		if row.Rank > *topK {
+			break
+		}
+		fmt.Printf("  %2d. %-30s %-14s %3.0f%% of improved cases, %d nets, %d IXPs\n",
+			row.Rank, row.Name, row.City+" ("+row.CC+")", 100*row.PctImproved,
+			row.ListedNets, row.IXPs)
+	}
+	n, facs := res.RelaysForCoverage(shortcuts.COR, 0.75)
+	fmt.Printf("\n75%% of achievable coverage: %d relays across %d facilities\n", n, len(facs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "relayplan:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,119 @@
+// Command shortcuts runs the full measurement campaign and regenerates
+// every table and figure of the paper's evaluation: the Figure-1 eyeball
+// cutoff curve, the Figure-2 improvement CDFs, the Figure-3 top-relay
+// coverage curves, the Figure-4 threshold curves, the Table-1 facility
+// ranking, the COR pipeline funnel, and the in-text statistics. Figures
+// are written as CSV files when -out is given; tables and the summary go
+// to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"shortcuts"
+)
+
+func main() {
+	var (
+		seed   = flag.Int64("seed", 1, "world seed (campaigns are deterministic per seed)")
+		rounds = flag.Int("rounds", 45, "measurement rounds (paper: 45 over one month)")
+		small  = flag.Bool("small", false, "use the reduced world for a fast run")
+		out    = flag.String("out", "", "directory for figure CSVs (omit to skip)")
+	)
+	flag.Parse()
+
+	cfg := shortcuts.Config{Seed: *seed, Rounds: *rounds, SmallWorld: *small}
+	start := time.Now()
+	campaign, err := shortcuts.NewCampaign(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("world built in %v (seed %d)\n\n", time.Since(start).Round(time.Millisecond), *seed)
+
+	fmt.Println("== COR selection pipeline (Section 2.2) ==")
+	f := campaign.Funnel()
+	fmt.Printf("%d -> %d -> %d -> %d -> %d -> %d  (paper: 2675 -> 1008 -> 764 -> 725 -> 725 -> 356)\n",
+		f.Initial, f.SingleFacilityActive, f.Pingable, f.SameOwnership,
+		f.ActiveFacilityPresence, f.Geolocated)
+	fmt.Printf("%d facilities in %d cities (paper: 58 in 36)\n\n", f.Facilities, f.Cities)
+
+	start = time.Now()
+	res, err := campaign.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("campaign: %d rounds in %v, %d pings, %d pair observations\n\n",
+		res.Rounds(), time.Since(start).Round(time.Millisecond), res.TotalPings(), res.Pairs())
+
+	fmt.Println("== Headline results (Figure 2 and in-text) ==")
+	if err := res.WriteSummary(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("\n== Table 1: facilities of the top-20 COR relays ==")
+	if err := res.WriteTable1(os.Stdout, 20); err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("\n== Future-work analyses (Section 5) ==")
+	for _, feat := range res.FacilityFeatureAttribution() {
+		fmt.Printf("facility feature %-20s rank correlation %+.2f\n", feat.Name, feat.Correlation)
+	}
+	fmt.Printf("RAR_other improving relays by host type: %v\n", res.RAROtherBreakdown())
+	for _, b := range res.LandingPointProximity([]float64{100, 500, 2000}) {
+		label := fmt.Sprintf("<= %.0f km", b.MaxDistanceKm)
+		if b.MaxDistanceKm < 0 {
+			label = "farther"
+		}
+		fmt.Printf("landing-point distance %-10s: %3d relays, %d improvement events\n",
+			label, b.Relays, b.Improvements)
+	}
+
+	if *out != "" {
+		if err := writeFigures(campaign, res, *out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nfigure CSVs written to %s\n", *out)
+	}
+}
+
+func writeFigures(c *shortcuts.Campaign, r *shortcuts.Results, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, fn func(f *os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return fn(f)
+	}
+	if err := write("fig1_eyeball_cutoff.csv", func(f *os.File) error {
+		return c.WriteFig1CSV(f)
+	}); err != nil {
+		return err
+	}
+	if err := write("fig2_improvement_cdf.csv", func(f *os.File) error {
+		return r.WriteFig2CSV(f)
+	}); err != nil {
+		return err
+	}
+	if err := write("fig3_top_relays.csv", func(f *os.File) error {
+		return r.WriteFig3CSV(f, 100)
+	}); err != nil {
+		return err
+	}
+	return write("fig4_thresholds.csv", func(f *os.File) error {
+		return r.WriteFig4CSV(f, 10)
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "shortcuts:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,43 @@
+// Quickstart: build a small synthetic world, run a two-round campaign,
+// and print the headline comparison of relay types against direct paths.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"shortcuts"
+)
+
+func main() {
+	campaign, err := shortcuts.NewCampaign(shortcuts.Config{
+		Seed:       1,
+		Rounds:     2,
+		SmallWorld: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f := campaign.Funnel()
+	fmt.Printf("COR pipeline kept %d of %d candidate colo IPs (%d facilities)\n\n",
+		f.Geolocated, f.Initial, f.Facilities)
+
+	res, err := campaign.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("measured %d endpoint pairs over %d rounds (%d pings)\n\n",
+		res.Pairs(), res.Rounds(), res.TotalPings())
+	for _, t := range shortcuts.RelayTypes() {
+		fmt.Printf("%-10s improves %5.1f%% of pairs (median gain %.1f ms)\n",
+			t, 100*res.ImprovedFraction(t), res.MedianImprovementMs(t))
+	}
+
+	fmt.Println("\nfull summary:")
+	if err := res.WriteSummary(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

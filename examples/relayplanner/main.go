@@ -1,0 +1,69 @@
+// Relay planner scenario: an overlay operator with a budget of K relay
+// deployments wants maximum coverage. Figure 3's insight is that relay
+// populations differ hugely in how fast coverage saturates: ~10 colo
+// relays in ~6 facilities match what >>100 Atlas relays achieve. This
+// example sweeps K for every relay type and prints the deployment plan
+// for a given budget.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"shortcuts"
+)
+
+func main() {
+	budget := flag.Int("budget", 10, "number of relays the operator can deploy")
+	flag.Parse()
+
+	campaign, err := shortcuts.NewCampaign(shortcuts.QuickConfig(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := campaign.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("coverage (%% of all pairs improved) vs relays deployed:\n\n")
+	fmt.Printf("%8s", "relays")
+	for _, t := range shortcuts.RelayTypes() {
+		fmt.Printf("%12s", t)
+	}
+	fmt.Println()
+	for _, k := range []int{1, 2, 5, 10, 20, 50, 100} {
+		fmt.Printf("%8d", k)
+		for _, t := range shortcuts.RelayTypes() {
+			curve := res.TopRelayCurve(t, k)
+			val := 0.0
+			if len(curve) > 0 {
+				val = curve[len(curve)-1].FracTotal
+			}
+			fmt.Printf("%11.1f%%", 100*val)
+		}
+		fmt.Println()
+	}
+
+	n, facilities := res.RelaysForCoverage(shortcuts.COR, 0.75)
+	fmt.Printf("\n75%% of COR's total coverage needs %d relays in %d facilities\n", n, len(facilities))
+	fmt.Printf("(paper: 10 relays in 6 large colos)\n\n")
+
+	fmt.Printf("deployment plan for a budget of %d colo relays:\n", *budget)
+	curve := res.TopRelayCurve(shortcuts.COR, *budget)
+	if len(curve) > 0 {
+		fmt.Printf("expected coverage: %.1f%% of all pairs\n", 100*curve[len(curve)-1].FracTotal)
+	}
+	seen := map[string]bool{}
+	rank := 0
+	for _, row := range res.TopFacilities(*budget) {
+		if seen[row.Name] {
+			continue
+		}
+		seen[row.Name] = true
+		rank++
+		fmt.Printf("  %2d. %-30s %-12s (%d nets, %d IXPs on site)\n",
+			rank, row.Name, row.City, row.ListedNets, row.IXPs)
+	}
+}

@@ -1,0 +1,46 @@
+// VoIP provider scenario: the paper motivates relays with real-time
+// applications. ITU G.114 considers RTTs above ~320 ms unusable for
+// telephony; this example measures how many inter-country call paths
+// exceed that bound on the direct Internet, how many remain above it when
+// calls are relayed through colo facilities, and which facilities rescue
+// the most calls.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shortcuts"
+)
+
+func main() {
+	campaign, err := shortcuts.NewCampaign(shortcuts.QuickConfig(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := campaign.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	v := res.VoIP()
+	fmt.Printf("call paths above the %.0f ms VoIP bound:\n", v.ThresholdMs)
+	fmt.Printf("  direct Internet : %5.1f%%  (paper: 19%%)\n", 100*v.DirectOver)
+	fmt.Printf("  via best COR    : %5.1f%%  (paper: 11%%)\n\n", 100*v.WithCOROver)
+
+	fmt.Printf("intercontinental pairs: %.0f%% of the studied mesh (paper: 74%%)\n\n",
+		100*res.IntercontinentalFraction())
+
+	fmt.Println("facilities worth deploying call relays in (Table-1 ranking):")
+	for _, row := range res.TopFacilities(20) {
+		fmt.Printf("  %2d. %-28s %-12s appears in %4.0f%% of improved cases\n",
+			row.Rank, row.Name, row.City, 100*row.PctImproved)
+		if row.Rank == 6 {
+			break
+		}
+	}
+
+	diff, same := res.CountryChange(shortcuts.COR)
+	fmt.Printf("\nplacement rule of thumb: relays in a third country improve %.0f%%\n", 100*diff)
+	fmt.Printf("of calls vs %.0f%% for relays sharing a country with a caller.\n", 100*same)
+}

@@ -1,0 +1,257 @@
+// Package atlas simulates the RIPE Atlas measurement platform: a global
+// fleet of probes and anchors hosted inside real networks, each tagged
+// with its AS, country, geolocation, firmware version and connection
+// history. The paper draws three node populations from Atlas — campaign
+// endpoints (Section 2.1), eyeball relays and "other network" relays
+// (Section 2.3.2) — after filtering on exactly the attributes modelled
+// here. Measurement scheduling happens under a credit budget, mirroring
+// the platform's user-defined-measurement constraints.
+package atlas
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"shortcuts/internal/latency"
+	"shortcuts/internal/rng"
+	"shortcuts/internal/topology"
+)
+
+// CurrentFirmware is the newest probe firmware version; the paper keeps
+// only probes running the latest firmware to minimise self-interference.
+const CurrentFirmware = 4790
+
+// ProbeID identifies a probe on the platform.
+type ProbeID int
+
+// Probe is one Atlas vantage point.
+type Probe struct {
+	ID        ProbeID
+	AS        topology.ASN
+	CC        string
+	City      int
+	Anchor    bool // anchors are well-connected datacenter nodes
+	Firmware  int
+	Public    bool
+	Connected bool // currently connected and pingable
+	GeoTagged bool // has usable geolocation coordinates
+	// StableDays counts days of uninterrupted connectivity over the last
+	// 30; the paper requires a full 30.
+	StableDays int
+	// Access is the one-way last-mile delay of the probe's attachment.
+	Access time.Duration
+}
+
+// Endpoint returns the probe's measurement attachment point.
+func (p *Probe) Endpoint() latency.Endpoint {
+	return latency.Endpoint{AS: p.AS, City: p.City, Access: p.Access}
+}
+
+// Eligible applies the paper's Section-2.1 probe filters: latest
+// firmware, publicly available, connected and pingable, geolocated, and
+// stable for the whole past month.
+func (p *Probe) Eligible() bool {
+	return p.Firmware == CurrentFirmware &&
+		p.Public &&
+		p.Connected &&
+		p.GeoTagged &&
+		p.StableDays >= 30
+}
+
+// Platform is the probe registry plus the availability process.
+type Platform struct {
+	probes []*Probe
+	byCC   map[string][]*Probe
+	byAS   map[topology.ASN][]*Probe
+	avail  *rng.Rand // seeds the per-(probe, round) availability draws
+
+	// OfflineProb is the per-round probability that a probe is offline
+	// at selection time.
+	OfflineProb float64
+	// WindowOutageProb is the probability that a probe selected for a
+	// round nevertheless stops answering during the measurement window.
+	// Together with OfflineProb this drives the paper's ~84% destination
+	// responsiveness.
+	WindowOutageProb float64
+}
+
+// Params controls fleet generation.
+type Params struct {
+	// EyeballBaseProbes and EyeballCoverageDiv size eyeball deployments:
+	// probes ~ base + coverage/div (bigger ISPs host more probes).
+	EyeballBaseProbes  int
+	EyeballCoverageDiv float64
+	// OtherNetProb is the chance a non-eyeball AS hosts probes at all,
+	// per AS type.
+	OtherNetProb map[topology.ASType]float64
+	// OtherNetMax bounds probes per non-eyeball AS.
+	OtherNetMax int
+	// AnchorProb is the chance a non-eyeball probe is an anchor.
+	AnchorProb float64
+	// Attribute rates.
+	CurrentFirmwareProb float64
+	PublicProb          float64
+	ConnectedProb       float64
+	GeoTaggedProb       float64
+	FullyStableProb     float64
+	// OfflineProb is the per-round selection-time outage probability.
+	OfflineProb float64
+	// WindowOutageProb is the mid-window outage probability.
+	WindowOutageProb float64
+}
+
+// DefaultParams sizes the fleet so the eligible eyeball population lands
+// near the paper's ~1190 probes across ~141 ASes.
+func DefaultParams() Params {
+	return Params{
+		EyeballBaseProbes:  3,
+		EyeballCoverageDiv: 6,
+		OtherNetProb: map[topology.ASType]float64{
+			topology.Tier1:      0.5,
+			topology.Transit:    1.0,
+			topology.Content:    0.8,
+			topology.Enterprise: 0.7,
+			topology.NREN:       0.6,
+			topology.Campus:     0.5,
+			topology.Backbone:   0.3,
+		},
+		OtherNetMax:         5,
+		AnchorProb:          0.10,
+		CurrentFirmwareProb: 0.88,
+		PublicProb:          0.92,
+		ConnectedProb:       0.95,
+		GeoTaggedProb:       0.93,
+		FullyStableProb:     0.82,
+		OfflineProb:         0.08,
+		WindowOutageProb:    0.09,
+	}
+}
+
+// Generate deploys the fleet over the topology.
+func Generate(g *rng.Rand, topo *topology.Topology, p Params) *Platform {
+	g = g.Split("atlas")
+	pl := &Platform{
+		byCC:             make(map[string][]*Probe),
+		byAS:             make(map[topology.ASN][]*Probe),
+		avail:            g.Split("availability"),
+		OfflineProb:      p.OfflineProb,
+		WindowOutageProb: p.WindowOutageProb,
+	}
+	id := ProbeID(1000)
+	for _, a := range topo.ASes {
+		var n int
+		var host bool
+		if a.Type == topology.Eyeball {
+			n = p.EyeballBaseProbes + int(a.Coverage/p.EyeballCoverageDiv) + g.IntBetween(0, 3)
+			host = true
+		} else if g.Bool(p.OtherNetProb[a.Type]) {
+			n = g.IntBetween(1, p.OtherNetMax)
+			host = true
+		}
+		if !host {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			city := a.PoPs[g.Intn(len(a.PoPs))]
+			pr := &Probe{
+				ID:        id,
+				AS:        a.ASN,
+				CC:        a.CC,
+				City:      city,
+				Firmware:  firmwareDraw(g, p.CurrentFirmwareProb),
+				Public:    g.Bool(p.PublicProb),
+				Connected: g.Bool(p.ConnectedProb),
+				GeoTagged: g.Bool(p.GeoTaggedProb),
+			}
+			if g.Bool(p.FullyStableProb) {
+				pr.StableDays = 30
+			} else {
+				pr.StableDays = g.IntBetween(0, 29)
+			}
+			if a.Type == topology.Eyeball {
+				// Residential last mile: right-skewed around ~6 ms.
+				ms := g.LogNormal(math.Log(6), 0.45)
+				if ms < 1.5 {
+					ms = 1.5
+				}
+				if ms > 30 {
+					ms = 30
+				}
+				pr.Access = time.Duration(ms * float64(time.Millisecond))
+			} else {
+				pr.Anchor = g.Bool(p.AnchorProb)
+				if pr.Anchor {
+					pr.Access = time.Duration(g.IntBetween(50, 300)) * time.Microsecond
+				} else {
+					pr.Access = time.Duration(g.IntBetween(100, 1000)) * time.Microsecond
+				}
+			}
+			pl.add(pr)
+			id++
+		}
+	}
+	return pl
+}
+
+func firmwareDraw(g *rng.Rand, currentProb float64) int {
+	if g.Bool(currentProb) {
+		return CurrentFirmware
+	}
+	return CurrentFirmware - g.IntBetween(1, 3)*10
+}
+
+func (pl *Platform) add(p *Probe) {
+	pl.probes = append(pl.probes, p)
+	pl.byCC[p.CC] = append(pl.byCC[p.CC], p)
+	pl.byAS[p.AS] = append(pl.byAS[p.AS], p)
+}
+
+// Probes returns the whole fleet.
+func (pl *Platform) Probes() []*Probe { return pl.probes }
+
+// ProbesIn returns the probes hosted in the given country.
+func (pl *Platform) ProbesIn(cc string) []*Probe { return pl.byCC[cc] }
+
+// ProbesOf returns the probes hosted by the given AS.
+func (pl *Platform) ProbesOf(asn topology.ASN) []*Probe { return pl.byAS[asn] }
+
+// EligibleIn returns eligible probes in (asn, cc), the unit the paper's
+// two-step endpoint sampling draws from.
+func (pl *Platform) EligibleIn(asn topology.ASN, cc string) []*Probe {
+	var out []*Probe
+	for _, p := range pl.byAS[asn] {
+		if p.CC == cc && p.Eligible() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Countries returns the sorted country codes with at least one probe.
+func (pl *Platform) Countries() []string {
+	out := make([]string, 0, len(pl.byCC))
+	for cc := range pl.byCC {
+		out = append(out, cc)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Responsive reports whether the probe is online for the given round at
+// selection time. The draw is a pure function of (platform seed, probe,
+// round).
+func (pl *Platform) Responsive(id ProbeID, round int) bool {
+	g := pl.avail.SplitN(fmt.Sprintf("probe-%d", id), round)
+	return !g.Bool(pl.OfflineProb)
+}
+
+// WindowUp reports whether the probe keeps answering through the round's
+// measurement window. Selection happens before the window, so a probe can
+// be Responsive yet suffer a mid-window outage — that attrition is what
+// limits the paper's campaign to ~84% responsive destinations.
+func (pl *Platform) WindowUp(id ProbeID, round int) bool {
+	g := pl.avail.SplitN(fmt.Sprintf("window-%d", id), round)
+	return !g.Bool(pl.WindowOutageProb)
+}

@@ -1,0 +1,324 @@
+// Package bgp computes inter-domain paths over a synthetic topology using
+// the standard Gao-Rexford policy model: routes learned from customers are
+// preferred over routes from peers, which are preferred over routes from
+// providers; ties break on AS-path length and then on lowest next-hop ASN.
+// Every computed path is valley-free (uphill, at most one peering edge,
+// downhill).
+//
+// The package also expands AS-level paths to PoP-level city sequences:
+// each AS boundary is crossed at one of the interconnection cities
+// recorded on the link, chosen hot-potato style (the exit nearest to where
+// the traffic currently is). Geographic path inflation — the root cause of
+// the triangle-inequality violations the paper exploits — emerges from
+// exactly this combination of policy routing and early-exit behaviour.
+package bgp
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+
+	"shortcuts/internal/topology"
+)
+
+// RouteClass ranks how a route was learned, in decreasing preference.
+type RouteClass int8
+
+const (
+	// NoRoute marks unreachable destinations.
+	NoRoute RouteClass = iota
+	// ViaCustomer is a route learned from a customer (most preferred).
+	ViaCustomer
+	// ViaPeer is a route learned from a settlement-free peer.
+	ViaPeer
+	// ViaProvider is a route learned from a provider (least preferred).
+	ViaProvider
+)
+
+// String implements fmt.Stringer.
+func (c RouteClass) String() string {
+	switch c {
+	case NoRoute:
+		return "none"
+	case ViaCustomer:
+		return "customer"
+	case ViaPeer:
+		return "peer"
+	case ViaProvider:
+		return "provider"
+	default:
+		return fmt.Sprintf("RouteClass(%d)", int8(c))
+	}
+}
+
+// Router computes and caches valley-free routes over a topology. It is
+// safe for concurrent use; per-destination routing trees are computed
+// lazily and memoised.
+type Router struct {
+	topo  *topology.Topology
+	index map[topology.ASN]int32 // dense index
+	asns  []topology.ASN         // inverse of index
+
+	mu    sync.RWMutex
+	trees map[topology.ASN]*tree
+}
+
+// tree is the routing state of every AS toward one destination.
+type tree struct {
+	class []RouteClass
+	dist  []int32 // AS-path length of the selected route
+	next  []int32 // dense index of the next hop; -1 at the destination
+}
+
+// New creates a Router for the given topology.
+func New(topo *topology.Topology) *Router {
+	r := &Router{
+		topo:  topo,
+		index: make(map[topology.ASN]int32, len(topo.ASes)),
+		trees: make(map[topology.ASN]*tree),
+	}
+	for i, a := range topo.ASes {
+		r.index[a.ASN] = int32(i)
+		r.asns = append(r.asns, a.ASN)
+	}
+	return r
+}
+
+// Topology returns the topology this router operates on.
+func (r *Router) Topology() *topology.Topology { return r.topo }
+
+// treeFor returns the routing tree toward dst, computing it on first use.
+func (r *Router) treeFor(dst topology.ASN) (*tree, error) {
+	r.mu.RLock()
+	tr, ok := r.trees[dst]
+	r.mu.RUnlock()
+	if ok {
+		return tr, nil
+	}
+	if _, known := r.index[dst]; !known {
+		return nil, fmt.Errorf("bgp: unknown destination AS %d", dst)
+	}
+	tr = r.compute(dst)
+	r.mu.Lock()
+	r.trees[dst] = tr
+	r.mu.Unlock()
+	return tr, nil
+}
+
+// compute builds the valley-free routing tree toward dst using the
+// three-phase algorithm: customer routes spread up the provider hierarchy
+// from dst, peer routes take one lateral step, provider routes spread down
+// to customer cones via a Dijkstra pass keyed on each node's selected
+// best-route length.
+func (r *Router) compute(dst topology.ASN) *tree {
+	n := len(r.asns)
+	const inf = int32(1 << 30)
+
+	custDist := make([]int32, n)
+	custNext := make([]int32, n)
+	peerDist := make([]int32, n)
+	peerNext := make([]int32, n)
+	provDist := make([]int32, n)
+	provNext := make([]int32, n)
+	for i := 0; i < n; i++ {
+		custDist[i], peerDist[i], provDist[i] = inf, inf, inf
+		custNext[i], peerNext[i], provNext[i] = -1, -1, -1
+	}
+
+	di := r.index[dst]
+
+	// Phase 1: customer routes. dst announces to its providers, who
+	// announce to their providers, and so on. BFS guarantees shortest
+	// paths; the ASN tie-break keeps trees deterministic.
+	custDist[di] = 0
+	queue := []int32{di}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, p := range r.topo.Providers(r.asns[x]) {
+			pi := r.index[p]
+			nd := custDist[x] + 1
+			if nd < custDist[pi] || (nd == custDist[pi] && better(r.asns[x], custNext[pi], r.asns)) {
+				if custDist[pi] == inf {
+					queue = append(queue, pi)
+				}
+				custDist[pi] = nd
+				custNext[pi] = x
+			}
+		}
+	}
+
+	// Phase 2: peer routes. One lateral step from any AS holding a
+	// customer route.
+	for x := 0; x < n; x++ {
+		if custDist[x] == inf {
+			continue
+		}
+		for _, q := range r.topo.Peers(r.asns[x]) {
+			qi := r.index[q]
+			nd := custDist[x] + 1
+			if nd < peerDist[qi] || (nd == peerDist[qi] && better(r.asns[x], peerNext[qi], r.asns)) {
+				peerDist[qi] = nd
+				peerNext[qi] = int32(x)
+			}
+		}
+	}
+
+	// Phase 3: provider routes. An AS forwards along its own selected
+	// best route, so the distance seeded into the downhill Dijkstra is
+	// the length of each node's best customer-or-peer route; customers
+	// then extend whatever their provider selected.
+	pq := &distHeap{}
+	best := func(i int32) (RouteClass, int32) {
+		switch {
+		case custDist[i] != inf:
+			return ViaCustomer, custDist[i]
+		case peerDist[i] != inf:
+			return ViaPeer, peerDist[i]
+		case provDist[i] != inf:
+			return ViaProvider, provDist[i]
+		default:
+			return NoRoute, inf
+		}
+	}
+	for x := int32(0); x < int32(n); x++ {
+		if cls, d := best(x); cls == ViaCustomer || cls == ViaPeer {
+			heap.Push(pq, distEntry{node: x, dist: d})
+		}
+	}
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(distEntry)
+		if _, d := best(e.node); e.dist > d {
+			continue // stale entry
+		}
+		for _, c := range r.topo.Customers(r.asns[e.node]) {
+			ci := r.index[c]
+			nd := e.dist + 1
+			if nd < provDist[ci] || (nd == provDist[ci] && better(r.asns[e.node], provNext[ci], r.asns)) {
+				updated := nd < provDist[ci]
+				provDist[ci] = nd
+				provNext[ci] = e.node
+				// Only re-queue when the provider route is the node's
+				// selected best; otherwise its forwarding is unchanged.
+				if cls, d := best(ci); updated && cls == ViaProvider {
+					heap.Push(pq, distEntry{node: ci, dist: d})
+				}
+			}
+		}
+	}
+
+	tr := &tree{
+		class: make([]RouteClass, n),
+		dist:  make([]int32, n),
+		next:  make([]int32, n),
+	}
+	for i := int32(0); i < int32(n); i++ {
+		cls, d := best(i)
+		tr.class[i] = cls
+		tr.dist[i] = d
+		switch cls {
+		case ViaCustomer:
+			tr.next[i] = custNext[i]
+		case ViaPeer:
+			tr.next[i] = peerNext[i]
+		case ViaProvider:
+			tr.next[i] = provNext[i]
+		default:
+			tr.next[i] = -1
+		}
+	}
+	return tr
+}
+
+// better reports whether candidate ASN a is preferred over the incumbent
+// dense index (tie-break: lowest next-hop ASN; -1 means no incumbent).
+func better(a topology.ASN, incumbent int32, asns []topology.ASN) bool {
+	if incumbent < 0 {
+		return true
+	}
+	return a < asns[incumbent]
+}
+
+// ASPath returns the AS-level path from src to dst, inclusive of both.
+// For src == dst the path is the single AS.
+func (r *Router) ASPath(src, dst topology.ASN) ([]topology.ASN, error) {
+	si, ok := r.index[src]
+	if !ok {
+		return nil, fmt.Errorf("bgp: unknown source AS %d", src)
+	}
+	if src == dst {
+		return []topology.ASN{src}, nil
+	}
+	tr, err := r.treeFor(dst)
+	if err != nil {
+		return nil, err
+	}
+	if tr.class[si] == NoRoute {
+		return nil, fmt.Errorf("bgp: no route from AS %d to AS %d", src, dst)
+	}
+	path := []topology.ASN{src}
+	cur := si
+	for r.asns[cur] != dst {
+		cur = tr.next[cur]
+		if cur < 0 {
+			return nil, fmt.Errorf("bgp: broken tree from AS %d to AS %d", src, dst)
+		}
+		path = append(path, r.asns[cur])
+		if len(path) > len(r.asns) {
+			return nil, fmt.Errorf("bgp: path loop from AS %d to AS %d", src, dst)
+		}
+	}
+	return path, nil
+}
+
+// RouteInfo describes how src reaches dst.
+type RouteInfo struct {
+	Class RouteClass
+	Hops  int // AS-path length in edges
+}
+
+// Route returns routing metadata for the pair.
+func (r *Router) Route(src, dst topology.ASN) (RouteInfo, error) {
+	si, ok := r.index[src]
+	if !ok {
+		return RouteInfo{}, fmt.Errorf("bgp: unknown source AS %d", src)
+	}
+	if src == dst {
+		return RouteInfo{Class: ViaCustomer, Hops: 0}, nil
+	}
+	tr, err := r.treeFor(dst)
+	if err != nil {
+		return RouteInfo{}, err
+	}
+	if tr.class[si] == NoRoute {
+		return RouteInfo{}, fmt.Errorf("bgp: no route from AS %d to AS %d", src, dst)
+	}
+	return RouteInfo{Class: tr.class[si], Hops: int(tr.dist[si])}, nil
+}
+
+// distEntry and distHeap implement the phase-3 priority queue.
+type distEntry struct {
+	node int32
+	dist int32
+}
+
+type distHeap []distEntry
+
+func (h distHeap) Len() int { return len(h) }
+func (h distHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	return h[i].node < h[j].node
+}
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distEntry)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+var _ fmt.Stringer = NoRoute

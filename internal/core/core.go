@@ -1,0 +1,34 @@
+// Package core ties the substrates into the paper's methodology: build a
+// world (topology, datasets, platforms, relay catalog), run the
+// measurement campaign, and hand the results to analysis. It is the
+// engine behind the public shortcuts API.
+package core
+
+import (
+	"fmt"
+
+	"shortcuts/internal/measure"
+	"shortcuts/internal/sim"
+)
+
+// Campaign couples a built world with a measurement schedule.
+type Campaign struct {
+	World   *sim.World
+	Measure measure.Config
+}
+
+// NewCampaign builds the world for the given parameters and prepares the
+// measurement schedule.
+func NewCampaign(wp sim.WorldParams, mc measure.Config) (*Campaign, error) {
+	w, err := sim.Build(wp)
+	if err != nil {
+		return nil, fmt.Errorf("core: building world: %w", err)
+	}
+	return &Campaign{World: w, Measure: mc}, nil
+}
+
+// Run executes the campaign and returns the raw results; analysis
+// functions in internal/analysis turn them into the paper's figures.
+func (c *Campaign) Run() (*measure.Results, error) {
+	return measure.Run(c.World, c.Measure)
+}

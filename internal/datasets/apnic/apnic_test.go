@@ -1,0 +1,184 @@
+package apnic
+
+import (
+	"testing"
+
+	"shortcuts/internal/rng"
+	"shortcuts/internal/worlddata"
+)
+
+func testDataset(t *testing.T) *Dataset {
+	t.Helper()
+	g := rng.New(1).Split("apnic")
+	return Generate(g, DefaultParams(worlddata.CountryCodes()))
+}
+
+func TestDatasetSize(t *testing.T) {
+	ds := testDataset(t)
+	if got := len(ds.Records); got < 19857 || got > 19857+10 {
+		t.Fatalf("dataset has %d records, want ~19857", got)
+	}
+	if got := len(ds.Countries()); got != 225 {
+		t.Fatalf("dataset spans %d countries, want 225", got)
+	}
+}
+
+func TestTenPercentCutoffMatchesPaper(t *testing.T) {
+	ds := testDataset(t)
+	pts := ds.CutoffCurve([]float64{10})
+	p := pts[0]
+	// Paper: 494 ASes and 223 countries at the 10% cutoff. Generation is
+	// stochastic; require the same order of magnitude and the exact
+	// country gap.
+	if p.ASes < 420 || p.ASes > 570 {
+		t.Errorf("ASes at 10%% cutoff = %d, want ~494 (±15%%)", p.ASes)
+	}
+	if p.Countries < 221 || p.Countries > 225 {
+		t.Errorf("countries at 10%% cutoff = %d, want ~223", p.Countries)
+	}
+}
+
+func TestRealCountriesAlwaysHaveEyeballs(t *testing.T) {
+	ds := testDataset(t)
+	for _, cc := range worlddata.CountryCodes() {
+		top := ds.TopASes(cc, 1)
+		if len(top) == 0 || top[0].Coverage < 10 {
+			t.Errorf("real country %s has no eyeball AS above 10%% coverage", cc)
+		}
+	}
+}
+
+func TestCurveMonotonicity(t *testing.T) {
+	ds := testDataset(t)
+	cutoffs := []float64{0, 5, 10, 20, 30, 50, 70, 90, 100}
+	pts := ds.CutoffCurve(cutoffs)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].ASes > pts[i-1].ASes {
+			t.Errorf("ASes curve not non-increasing at cutoff %v", pts[i].Cutoff)
+		}
+		if pts[i].Countries > pts[i-1].Countries {
+			t.Errorf("countries curve not non-increasing at cutoff %v", pts[i].Cutoff)
+		}
+	}
+	if pts[0].ASes != len(ds.Records) {
+		t.Errorf("cutoff 0 ASes = %d, want all %d", pts[0].ASes, len(ds.Records))
+	}
+}
+
+func TestCurvesConvergeAboveThirtyPercent(t *testing.T) {
+	// Paper Fig. 1: above ~30% the AS and country curves converge,
+	// meaning roughly one qualifying AS per covered country.
+	ds := testDataset(t)
+	pts := ds.CutoffCurve([]float64{35, 50, 70})
+	for _, p := range pts {
+		if p.Countries == 0 {
+			t.Fatalf("no countries at cutoff %v", p.Cutoff)
+		}
+		ratio := float64(p.ASes) / float64(p.Countries)
+		if ratio > 1.25 {
+			t.Errorf("cutoff %v: %.2f ASes per covered country, want ~1", p.Cutoff, ratio)
+		}
+	}
+}
+
+func TestUSIsFragmented(t *testing.T) {
+	ds := testDataset(t)
+	us := ds.ByCountry("US")
+	if len(us) < 8 {
+		t.Fatalf("US has %d records, want >= 8", len(us))
+	}
+	if us[0].Coverage > 25 {
+		t.Errorf("US top AS coverage = %.1f%%, want < 25%% (fragmented market)", us[0].Coverage)
+	}
+	atLeast10 := 0
+	for _, r := range us {
+		if r.Coverage >= 10 {
+			atLeast10++
+		}
+	}
+	if atLeast10 < 3 {
+		t.Errorf("US has %d ASes above 10%%, want >= 3", atLeast10)
+	}
+}
+
+func TestByCountrySorted(t *testing.T) {
+	ds := testDataset(t)
+	for _, cc := range ds.Countries() {
+		recs := ds.ByCountry(cc)
+		for i := 1; i < len(recs); i++ {
+			if recs[i].Coverage > recs[i-1].Coverage {
+				t.Fatalf("%s records not sorted by coverage", cc)
+			}
+		}
+	}
+}
+
+func TestUniqueASNs(t *testing.T) {
+	ds := testDataset(t)
+	seen := make(map[int]bool, len(ds.Records))
+	for _, r := range ds.Records {
+		if seen[r.ASN] {
+			t.Fatalf("duplicate ASN %d", r.ASN)
+		}
+		seen[r.ASN] = true
+	}
+}
+
+func TestCoverageLookup(t *testing.T) {
+	ds := testDataset(t)
+	top := ds.TopASes("GB", 1)[0]
+	cov, ok := ds.Coverage(top.ASN, "GB")
+	if !ok || cov != top.Coverage {
+		t.Fatalf("Coverage(%d, GB) = %v, %v; want %v, true", top.ASN, cov, ok, top.Coverage)
+	}
+	if _, ok := ds.Coverage(-1, "GB"); ok {
+		t.Fatal("Coverage of unknown ASN reported present")
+	}
+}
+
+func TestEyeballASesMatchesCurve(t *testing.T) {
+	ds := testDataset(t)
+	eyeballs := ds.EyeballASes(10)
+	pts := ds.CutoffCurve([]float64{10})
+	if len(eyeballs) != pts[0].ASes {
+		t.Fatalf("EyeballASes(10) = %d records, curve says %d", len(eyeballs), pts[0].ASes)
+	}
+	for _, r := range eyeballs {
+		if r.Coverage < 10 {
+			t.Fatalf("eyeball record below cutoff: %+v", r)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(rng.New(5).Split("apnic"), DefaultParams(worlddata.CountryCodes()))
+	b := Generate(rng.New(5).Split("apnic"), DefaultParams(worlddata.CountryCodes()))
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("sizes differ: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a.Records[i], b.Records[i])
+		}
+	}
+}
+
+func TestSyntheticCountryCodesDoNotCollide(t *testing.T) {
+	ds := testDataset(t)
+	real := make(map[string]bool)
+	for _, cc := range worlddata.CountryCodes() {
+		real[cc] = true
+	}
+	synthetic := 0
+	for _, cc := range ds.Countries() {
+		if !real[cc] {
+			synthetic++
+			if len(cc) != 2 {
+				t.Errorf("synthetic code %q is not two letters", cc)
+			}
+		}
+	}
+	if synthetic != 225-len(worlddata.CountryCodes()) {
+		t.Errorf("synthetic country count = %d, want %d", synthetic, 225-len(worlddata.CountryCodes()))
+	}
+}

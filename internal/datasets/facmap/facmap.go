@@ -1,0 +1,200 @@
+// Package facmap synthesizes the Giotsas et al. facility-mapping dataset
+// ("Mapping peering interconnections to a facility", CoNEXT 2015) that the
+// paper's COR pipeline (Section 2.2) filters. Each record attributes an IP
+// interface to a set of candidate colocation facilities, with the
+// colocated AS and neighbouring IXPs.
+//
+// The real dataset was two years stale by measurement time, which is
+// precisely why the paper's five filters exist. The generator therefore
+// produces records with controlled staleness:
+//
+//   - multi-facility candidate sets (the search algorithm failed to
+//     converge for ~60% of interfaces);
+//   - candidate facilities that have since disappeared from PeeringDB;
+//   - interfaces that no longer answer pings;
+//   - IPs whose origin AS changed or became MOAS since 2015;
+//   - interfaces that physically moved to another city.
+//
+// Ground truth for each record (is it online, who originates it now,
+// which city does it answer from) is stored alongside so the measurement
+// substrate can answer pings, while the filtering pipeline in
+// internal/relays only ever sees what the paper's authors could observe.
+package facmap
+
+import (
+	"shortcuts/internal/datasets/prefix2as"
+	"shortcuts/internal/rng"
+	"shortcuts/internal/topology"
+)
+
+// Record is one IP-to-facility attribution from the 2015 snapshot.
+type Record struct {
+	IP prefix2as.IP
+	// ASN is the AS the snapshot attributes the interface to.
+	ASN topology.ASN
+	// CandidatePDBs are the PeeringDB IDs of the candidate facilities.
+	// More than one means the constrained facility search did not
+	// converge; the pipeline's first filter drops such records.
+	CandidatePDBs []int
+	// IXPs are the neighbouring IXP names from the snapshot.
+	IXPs []string
+
+	// Truth is simulator-side ground truth, not visible to the pipeline.
+	Truth Truth
+}
+
+// Truth captures what the interface looks like today.
+type Truth struct {
+	// Online is whether the interface still answers pings.
+	Online bool
+	// CurrentAS is the AS that originates the covering prefix today.
+	CurrentAS topology.ASN
+	// City is where the interface physically answers from today.
+	City int
+	// FacilityPDB is the facility the interface was truly installed in
+	// when the snapshot was taken (first element of CandidatePDBs).
+	FacilityPDB int
+}
+
+// Dataset is the full snapshot.
+type Dataset struct {
+	Records []Record
+}
+
+// Params controls staleness rates; defaults reproduce the paper's
+// filtering funnel 2675 -> 1008 -> 764 -> 725 -> 725 -> 356.
+type Params struct {
+	NumRecords          int
+	SingleCandidateProb float64 // P(search converged to one facility)
+	FacilityClosedProb  float64 // P(candidate facility left PeeringDB)
+	OnlineProb          float64 // P(interface still pingable)
+	OwnershipChurnProb  float64 // P(origin AS changed since 2015)
+	MovedCityProb       float64 // P(interface now answers from elsewhere)
+}
+
+// DefaultParams returns rates calibrated against the paper's funnel.
+func DefaultParams() Params {
+	return Params{
+		NumRecords:          2675,
+		SingleCandidateProb: 0.43,
+		FacilityClosedProb:  0.08,
+		OnlineProb:          0.758,
+		OwnershipChurnProb:  0.03,
+		MovedCityProb:       0.07,
+	}
+}
+
+// phantomPDBBase numbers facilities that existed in 2015 but have since
+// closed; they never appear in the current PeeringDB registry.
+const phantomPDBBase = 9000
+
+// Generate builds the snapshot over the current topology. Facilities are
+// drawn weighted by listed size (big hubs host more mapped interfaces);
+// member ASes weighted toward the router-owning types (tier-1, transit,
+// content), matching what traceroute-based mapping actually surfaces.
+func Generate(g *rng.Rand, topo *topology.Topology, table *prefix2as.Table, p Params) *Dataset {
+	g = g.Split("facmap")
+	ds := &Dataset{}
+
+	// Facility sampling weights.
+	weights := make([]float64, len(topo.Facilities))
+	for i, f := range topo.Facilities {
+		weights[i] = float64(f.ListedNets)
+	}
+	nextPhantom := phantomPDBBase
+
+	for len(ds.Records) < p.NumRecords {
+		fi := g.WeightedChoice(weights)
+		fac := topo.Facilities[fi]
+		member, ok := pickMember(g, topo, fac)
+		if !ok {
+			continue
+		}
+
+		rec := Record{ASN: member, IXPs: append([]string(nil), fac.IXPs...)}
+		rec.Truth = Truth{
+			Online:      g.Bool(p.OnlineProb),
+			CurrentAS:   member,
+			City:        fac.City,
+			FacilityPDB: fac.PDBID,
+		}
+
+		// Candidate facility set.
+		first := fac.PDBID
+		if g.Bool(p.FacilityClosedProb) {
+			// The true facility has since closed: the snapshot points at
+			// a PDB ID that no longer resolves.
+			first = nextPhantom
+			nextPhantom++
+			rec.Truth.FacilityPDB = first
+		}
+		rec.CandidatePDBs = []int{first}
+		if !g.Bool(p.SingleCandidateProb) {
+			// Unconverged search: add 1-2 other same-city-or-random
+			// candidates.
+			extra := g.IntBetween(1, 2)
+			for i := 0; i < extra; i++ {
+				other := topo.Facilities[g.Intn(len(topo.Facilities))]
+				if other.PDBID != first {
+					rec.CandidatePDBs = append(rec.CandidatePDBs, other.PDBID)
+				}
+			}
+			if len(rec.CandidatePDBs) == 1 {
+				// Ensure the set really is ambiguous.
+				rec.CandidatePDBs = append(rec.CandidatePDBs, phantomPDBBase-1)
+			}
+		}
+
+		// Address allocation: normally inside the member's space; under
+		// ownership churn the covering prefix belongs to someone else now.
+		owner := member
+		if g.Bool(p.OwnershipChurnProb) {
+			other := topo.ASes[g.Intn(len(topo.ASes))]
+			if other.ASN != member {
+				owner = other.ASN
+			}
+		}
+		ip, ok := table.RandomIPIn(g, owner)
+		if !ok {
+			continue
+		}
+		rec.IP = ip
+		rec.Truth.CurrentAS = owner
+
+		if g.Bool(p.MovedCityProb) {
+			rec.Truth.City = g.Intn(len(topo.Cities))
+		}
+
+		ds.Records = append(ds.Records, rec)
+	}
+	return ds
+}
+
+// pickMember selects a facility member AS, preferring the types whose
+// router interfaces facility-mapping surfaces.
+func pickMember(g *rng.Rand, topo *topology.Topology, fac *topology.Facility) (topology.ASN, bool) {
+	if len(fac.Members) == 0 {
+		return 0, false
+	}
+	weights := make([]float64, len(fac.Members))
+	for i, m := range fac.Members {
+		switch topo.AS(m).Type {
+		case topology.Tier1, topology.Transit:
+			weights[i] = 3
+		case topology.Content:
+			weights[i] = 2.5
+		case topology.Eyeball:
+			weights[i] = 1
+		default:
+			weights[i] = 0.4
+		}
+	}
+	i := g.WeightedChoice(weights)
+	if i < 0 {
+		return 0, false
+	}
+	return fac.Members[i], true
+}
+
+// SingleCandidate reports whether the record's search converged.
+func (r *Record) SingleCandidate() bool { return len(r.CandidatePDBs) == 1 }

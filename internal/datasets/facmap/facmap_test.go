@@ -1,0 +1,220 @@
+package facmap
+
+import (
+	"testing"
+
+	"shortcuts/internal/datasets/apnic"
+	"shortcuts/internal/datasets/prefix2as"
+	"shortcuts/internal/rng"
+	"shortcuts/internal/topology"
+	"shortcuts/internal/worlddata"
+)
+
+var (
+	cachedTopo  *topology.Topology
+	cachedTable *prefix2as.Table
+	cachedDS    *Dataset
+)
+
+func testDataset(t *testing.T) (*topology.Topology, *prefix2as.Table, *Dataset) {
+	t.Helper()
+	if cachedDS != nil {
+		return cachedTopo, cachedTable, cachedDS
+	}
+	g := rng.New(1)
+	ap := apnic.Generate(g.Split("apnic"), apnic.DefaultParams(worlddata.CountryCodes()))
+	topo, err := topology.Generate(g, topology.DefaultParams(), ap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := prefix2as.Generate(g, topo, prefix2as.DefaultParams())
+	cachedTopo, cachedTable = topo, table
+	cachedDS = Generate(g, topo, table, DefaultParams())
+	return topo, table, cachedDS
+}
+
+func TestDatasetSize(t *testing.T) {
+	_, _, ds := testDataset(t)
+	if len(ds.Records) != 2675 {
+		t.Fatalf("records = %d, want 2675 (paper's snapshot)", len(ds.Records))
+	}
+}
+
+func TestSingleCandidateRate(t *testing.T) {
+	_, _, ds := testDataset(t)
+	single := 0
+	for _, r := range ds.Records {
+		if r.SingleCandidate() {
+			single++
+		}
+	}
+	rate := float64(single) / float64(len(ds.Records))
+	// Target ~0.41 so that single & still-in-PDB lands at 1008/2675.
+	if rate < 0.35 || rate > 0.47 {
+		t.Fatalf("single-candidate rate = %.3f, want ~0.41", rate)
+	}
+}
+
+func TestOnlineRate(t *testing.T) {
+	_, _, ds := testDataset(t)
+	online := 0
+	for _, r := range ds.Records {
+		if r.Truth.Online {
+			online++
+		}
+	}
+	rate := float64(online) / float64(len(ds.Records))
+	if rate < 0.70 || rate > 0.81 {
+		t.Fatalf("online rate = %.3f, want ~0.758", rate)
+	}
+}
+
+func TestOwnershipMostlyConsistent(t *testing.T) {
+	_, _, ds := testDataset(t)
+	same := 0
+	for _, r := range ds.Records {
+		if r.Truth.CurrentAS == r.ASN {
+			same++
+		}
+	}
+	rate := float64(same) / float64(len(ds.Records))
+	if rate < 0.92 || rate > 0.99 {
+		t.Fatalf("ownership consistency = %.3f, want ~0.96", rate)
+	}
+}
+
+func TestIPsResolveToCurrentAS(t *testing.T) {
+	_, table, ds := testDataset(t)
+	for i, r := range ds.Records {
+		e, ok := table.Lookup(r.IP)
+		if !ok {
+			t.Fatalf("record %d IP %v unrouted", i, r.IP)
+		}
+		found := false
+		for _, o := range e.Origins {
+			if o == r.Truth.CurrentAS {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("record %d IP %v origins %v do not include current AS %d",
+				i, r.IP, e.Origins, r.Truth.CurrentAS)
+		}
+	}
+}
+
+func TestCandidateSetsNonEmpty(t *testing.T) {
+	_, _, ds := testDataset(t)
+	for i, r := range ds.Records {
+		if len(r.CandidatePDBs) == 0 {
+			t.Fatalf("record %d has no candidates", i)
+		}
+		if len(r.CandidatePDBs) > 3 {
+			t.Fatalf("record %d has %d candidates, want <= 3", i, len(r.CandidatePDBs))
+		}
+	}
+}
+
+func TestPhantomFacilitiesExist(t *testing.T) {
+	topo, _, ds := testDataset(t)
+	registry := make(map[int]bool)
+	for _, f := range topo.Facilities {
+		registry[f.PDBID] = true
+	}
+	phantoms := 0
+	for _, r := range ds.Records {
+		if !registry[r.CandidatePDBs[0]] {
+			phantoms++
+		}
+	}
+	rate := float64(phantoms) / float64(len(ds.Records))
+	if rate < 0.04 || rate > 0.13 {
+		t.Fatalf("closed-facility rate = %.3f, want ~0.08", rate)
+	}
+}
+
+func TestMostRecordsAtFacilityCity(t *testing.T) {
+	topo, _, ds := testDataset(t)
+	byPDB := make(map[int]*topology.Facility)
+	for _, f := range topo.Facilities {
+		byPDB[f.PDBID] = f
+	}
+	at, total := 0, 0
+	for _, r := range ds.Records {
+		f, ok := byPDB[r.CandidatePDBs[0]]
+		if !ok {
+			continue // phantom
+		}
+		total++
+		if r.Truth.City == f.City {
+			at++
+		}
+	}
+	rate := float64(at) / float64(total)
+	if rate < 0.88 || rate > 0.97 {
+		t.Fatalf("still-at-city rate = %.3f, want ~0.93", rate)
+	}
+}
+
+func TestRecordsSpreadAcrossFacilities(t *testing.T) {
+	// The candidate pool must span roughly the paper's 103 facilities at
+	// 67 cities.
+	topo, _, ds := testDataset(t)
+	byPDB := make(map[int]*topology.Facility)
+	for _, f := range topo.Facilities {
+		byPDB[f.PDBID] = f
+	}
+	facs := make(map[int]bool)
+	cities := make(map[int]bool)
+	for _, r := range ds.Records {
+		if f, ok := byPDB[r.CandidatePDBs[0]]; ok {
+			facs[f.PDBID] = true
+			cities[f.City] = true
+		}
+	}
+	if len(facs) < 80 {
+		t.Errorf("records cover %d facilities, want most of the ~103 pool", len(facs))
+	}
+	if len(cities) < 45 {
+		t.Errorf("records cover %d cities, want ~60+", len(cities))
+	}
+}
+
+func TestMemberTypesSkewToRouters(t *testing.T) {
+	topo, _, ds := testDataset(t)
+	core := 0
+	for _, r := range ds.Records {
+		switch topo.AS(r.ASN).Type {
+		case topology.Tier1, topology.Transit, topology.Content:
+			core++
+		}
+	}
+	rate := float64(core) / float64(len(ds.Records))
+	if rate < 0.6 {
+		t.Fatalf("core-network record rate = %.3f, want > 0.6", rate)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	build := func() *Dataset {
+		g := rng.New(11)
+		ap := apnic.Generate(g.Split("apnic"), apnic.DefaultParams(worlddata.CountryCodes()))
+		topo, err := topology.Generate(g, topology.SmallParams(), ap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		table := prefix2as.Generate(g, topo, prefix2as.DefaultParams())
+		p := DefaultParams()
+		p.NumRecords = 300
+		return Generate(g, topo, table, p)
+	}
+	a, b := build(), build()
+	if len(a.Records) != len(b.Records) {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.Records {
+		if a.Records[i].IP != b.Records[i].IP || a.Records[i].ASN != b.Records[i].ASN {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package peeringdb exposes a PeeringDB-style registry over the synthetic
+// topology's facilities: lookup by PDB ID, city attribution, member
+// counts, IXP lists, cloud flags and the "top 10 by colocated networks"
+// ranking the paper's Table 1 references. It represents *today's*
+// snapshot; the facility-mapping dataset (internal/datasets/facmap)
+// deliberately references some facilities that are absent here, which is
+// what the COR pipeline's first filter removes.
+package peeringdb
+
+import (
+	"sort"
+
+	"shortcuts/internal/topology"
+)
+
+// Registry is a read-only PeeringDB snapshot.
+type Registry struct {
+	topo  *topology.Topology
+	byPDB map[int]*topology.Facility
+	top10 map[int]bool // PDB IDs of the top-10 facilities by listed nets
+}
+
+// New builds the registry for the given topology.
+func New(topo *topology.Topology) *Registry {
+	r := &Registry{
+		topo:  topo,
+		byPDB: make(map[int]*topology.Facility, len(topo.Facilities)),
+		top10: make(map[int]bool, 10),
+	}
+	for _, f := range topo.Facilities {
+		r.byPDB[f.PDBID] = f
+	}
+	ranked := append([]*topology.Facility(nil), topo.Facilities...)
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].ListedNets != ranked[j].ListedNets {
+			return ranked[i].ListedNets > ranked[j].ListedNets
+		}
+		return ranked[i].PDBID < ranked[j].PDBID
+	})
+	for i := 0; i < 10 && i < len(ranked); i++ {
+		r.top10[ranked[i].PDBID] = true
+	}
+	return r
+}
+
+// Facility returns the facility with the given PeeringDB ID, if present
+// in the current snapshot.
+func (r *Registry) Facility(pdbID int) (*topology.Facility, bool) {
+	f, ok := r.byPDB[pdbID]
+	return f, ok
+}
+
+// Exists reports whether the facility is present in today's PeeringDB.
+func (r *Registry) Exists(pdbID int) bool {
+	_, ok := r.byPDB[pdbID]
+	return ok
+}
+
+// CityOf returns the city name of a facility.
+func (r *Registry) CityOf(pdbID int) (string, bool) {
+	f, ok := r.byPDB[pdbID]
+	if !ok {
+		return "", false
+	}
+	return r.topo.Cities[f.City].Name, true
+}
+
+// CountryOf returns the ISO country code of a facility.
+func (r *Registry) CountryOf(pdbID int) (string, bool) {
+	f, ok := r.byPDB[pdbID]
+	if !ok {
+		return "", false
+	}
+	return r.topo.Cities[f.City].CC, true
+}
+
+// MemberPresent reports whether asn is currently listed at the facility.
+func (r *Registry) MemberPresent(pdbID int, asn topology.ASN) bool {
+	f, ok := r.byPDB[pdbID]
+	return ok && f.HasMember(asn)
+}
+
+// IsTop10 reports whether the facility ranks in the top 10 by listed
+// colocated networks, the attribute shown in Table 1.
+func (r *Registry) IsTop10(pdbID int) bool { return r.top10[pdbID] }
+
+// Top10 returns the top-10 facilities by listed networks, best first.
+func (r *Registry) Top10() []*topology.Facility {
+	out := make([]*topology.Facility, 0, 10)
+	for _, f := range r.topo.Facilities {
+		if r.top10[f.PDBID] {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ListedNets > out[j].ListedNets })
+	return out
+}
+
+// Facilities returns every facility in the snapshot.
+func (r *Registry) Facilities() []*topology.Facility { return r.topo.Facilities }

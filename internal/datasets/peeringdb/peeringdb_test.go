@@ -1,0 +1,119 @@
+package peeringdb
+
+import (
+	"testing"
+
+	"shortcuts/internal/datasets/apnic"
+	"shortcuts/internal/rng"
+	"shortcuts/internal/topology"
+	"shortcuts/internal/worlddata"
+)
+
+func testRegistry(t *testing.T) (*topology.Topology, *Registry) {
+	t.Helper()
+	g := rng.New(1)
+	ds := apnic.Generate(g.Split("apnic"), apnic.DefaultParams(worlddata.CountryCodes()))
+	topo, err := topology.Generate(g, topology.DefaultParams(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, New(topo)
+}
+
+func TestFacilityLookup(t *testing.T) {
+	topo, r := testRegistry(t)
+	for _, f := range topo.Facilities {
+		got, ok := r.Facility(f.PDBID)
+		if !ok || got != f {
+			t.Fatalf("Facility(%d) = %v, %v", f.PDBID, got, ok)
+		}
+		if !r.Exists(f.PDBID) {
+			t.Fatalf("Exists(%d) = false", f.PDBID)
+		}
+	}
+	if _, ok := r.Facility(999999); ok {
+		t.Fatal("phantom facility resolved")
+	}
+	if r.Exists(9001) {
+		t.Fatal("phantom PDB ID 9001 exists")
+	}
+}
+
+func TestCityAndCountry(t *testing.T) {
+	topo, r := testRegistry(t)
+	f := topo.Facilities[0]
+	city, ok := r.CityOf(f.PDBID)
+	if !ok || city != topo.Cities[f.City].Name {
+		t.Fatalf("CityOf = %q, %v", city, ok)
+	}
+	cc, ok := r.CountryOf(f.PDBID)
+	if !ok || cc != topo.Cities[f.City].CC {
+		t.Fatalf("CountryOf = %q, %v", cc, ok)
+	}
+	if _, ok := r.CityOf(424242); ok {
+		t.Fatal("CityOf resolved unknown facility")
+	}
+	if _, ok := r.CountryOf(424242); ok {
+		t.Fatal("CountryOf resolved unknown facility")
+	}
+}
+
+func TestTop10Ranking(t *testing.T) {
+	_, r := testRegistry(t)
+	top := r.Top10()
+	if len(top) != 10 {
+		t.Fatalf("Top10 returned %d facilities", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].ListedNets > top[i-1].ListedNets {
+			t.Fatal("Top10 not sorted by listed networks")
+		}
+	}
+	for _, f := range top {
+		if !r.IsTop10(f.PDBID) {
+			t.Fatalf("IsTop10(%d) = false for a top-10 facility", f.PDBID)
+		}
+	}
+}
+
+func TestTable1SeedsInTop10(t *testing.T) {
+	// Telehouse North (361 nets) and Equinix-FR5 (235) must rank top-10;
+	// the paper marks 4 of its Table-1 facilities as PDB top-10.
+	_, r := testRegistry(t)
+	mustRank := []int{34, 60} // Telehouse North, Equinix-FR5
+	for _, pdb := range mustRank {
+		if !r.IsTop10(pdb) {
+			t.Errorf("facility PDB %d not in top-10", pdb)
+		}
+	}
+}
+
+func TestMemberPresent(t *testing.T) {
+	topo, r := testRegistry(t)
+	var fac *topology.Facility
+	for _, f := range topo.Facilities {
+		if len(f.Members) > 0 {
+			fac = f
+			break
+		}
+	}
+	if fac == nil {
+		t.Fatal("no facility with members")
+	}
+	if !r.MemberPresent(fac.PDBID, fac.Members[0]) {
+		t.Fatal("member not reported present")
+	}
+	if r.MemberPresent(fac.PDBID, 999999) {
+		t.Fatal("phantom member reported present")
+	}
+	if r.MemberPresent(31337, fac.Members[0]) {
+		t.Fatal("member present at unknown facility")
+	}
+}
+
+func TestFacilitiesComplete(t *testing.T) {
+	topo, r := testRegistry(t)
+	if len(r.Facilities()) != len(topo.Facilities) {
+		t.Fatalf("Facilities() = %d, want %d", len(r.Facilities()), len(topo.Facilities))
+	}
+}

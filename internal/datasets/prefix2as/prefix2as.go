@@ -1,0 +1,170 @@
+// Package prefix2as synthesizes a CAIDA-style IPv4 prefix-to-AS mapping
+// over the topology's ASes and answers longest-prefix-match queries. The
+// paper's COR pipeline uses this dataset for its "Same IP-ownership"
+// filter: an IP whose origin AS changed since the facility snapshot, or
+// which is announced by multiple ASes (MOAS), is discarded.
+package prefix2as
+
+import (
+	"fmt"
+	"sort"
+
+	"shortcuts/internal/rng"
+	"shortcuts/internal/topology"
+)
+
+// IP is an IPv4 address in host byte order.
+type IP uint32
+
+// String renders dotted-quad notation.
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// Prefix is an IPv4 CIDR block.
+type Prefix struct {
+	Base IP
+	Bits int
+}
+
+// Contains reports whether ip falls inside the prefix.
+func (p Prefix) Contains(ip IP) bool {
+	if p.Bits <= 0 {
+		return true
+	}
+	mask := ^IP(0) << (32 - uint(p.Bits))
+	return ip&mask == p.Base&mask
+}
+
+// String renders CIDR notation.
+func (p Prefix) String() string { return fmt.Sprintf("%s/%d", p.Base, p.Bits) }
+
+// Entry is one routed prefix with its origin AS(es). Multiple origins
+// constitute a MOAS conflict.
+type Entry struct {
+	Prefix  Prefix
+	Origins []topology.ASN
+}
+
+// MOAS reports whether the prefix has conflicting origins.
+func (e Entry) MOAS() bool { return len(e.Origins) > 1 }
+
+// Table is a prefix-to-AS snapshot supporting longest-prefix matching.
+type Table struct {
+	entries []Entry // sorted by (base, bits)
+	perAS   map[topology.ASN][]Prefix
+}
+
+// Params controls synthesis.
+type Params struct {
+	// PrefixesPerAS bounds how many prefixes each AS originates.
+	PrefixesMin, PrefixesMax int
+	// MOASProb is the chance a prefix gains a second origin.
+	MOASProb float64
+}
+
+// DefaultParams mirrors observed routing-table properties loosely: a few
+// prefixes per AS and a small MOAS rate.
+func DefaultParams() Params {
+	return Params{PrefixesMin: 1, PrefixesMax: 4, MOASProb: 0.02}
+}
+
+// Generate allocates prefixes for every AS in the topology. Address
+// blocks are carved deterministically from 10/8-style sequential space so
+// that prefixes never overlap across ASes (except deliberate MOAS
+// duplicate origins on the same entry).
+func Generate(g *rng.Rand, topo *topology.Topology, p Params) *Table {
+	g = g.Split("prefix2as")
+	t := &Table{perAS: make(map[topology.ASN][]Prefix, len(topo.ASes))}
+	// Sequential /20 allocation gives every AS disjoint space.
+	next := IP(0x0A000000) // 10.0.0.0
+	const block = 1 << 12  // /20
+	for _, a := range topo.ASes {
+		n := g.IntBetween(p.PrefixesMin, p.PrefixesMax)
+		for i := 0; i < n; i++ {
+			pre := Prefix{Base: next, Bits: 20}
+			next += block
+			origins := []topology.ASN{a.ASN}
+			if g.Bool(p.MOASProb) {
+				other := topo.ASes[g.Intn(len(topo.ASes))]
+				if other.ASN != a.ASN {
+					origins = append(origins, other.ASN)
+				}
+			}
+			t.entries = append(t.entries, Entry{Prefix: pre, Origins: origins})
+			t.perAS[a.ASN] = append(t.perAS[a.ASN], pre)
+		}
+	}
+	sort.Slice(t.entries, func(i, j int) bool {
+		if t.entries[i].Prefix.Base != t.entries[j].Prefix.Base {
+			return t.entries[i].Prefix.Base < t.entries[j].Prefix.Base
+		}
+		return t.entries[i].Prefix.Bits < t.entries[j].Prefix.Bits
+	})
+	return t
+}
+
+// Lookup returns the longest-prefix-match entry for ip, or false if the
+// address is unrouted.
+func (t *Table) Lookup(ip IP) (Entry, bool) {
+	// Binary search for the last entry with Base <= ip, then scan back
+	// for a containing prefix. With disjoint same-length allocations a
+	// single step suffices, but the scan keeps correctness if callers
+	// ever add nested prefixes.
+	i := sort.Search(len(t.entries), func(k int) bool {
+		return t.entries[k].Prefix.Base > ip
+	})
+	best := -1
+	for j := i - 1; j >= 0 && j >= i-8; j-- {
+		if t.entries[j].Prefix.Contains(ip) {
+			if best == -1 || t.entries[j].Prefix.Bits > t.entries[best].Prefix.Bits {
+				best = j
+			}
+		}
+	}
+	if best == -1 {
+		return Entry{}, false
+	}
+	return t.entries[best], true
+}
+
+// OriginOf returns the single origin AS of ip. MOAS conflicts and
+// unrouted addresses return ok=false, matching the paper's filter
+// semantics (it requires a unique, consistent origin).
+func (t *Table) OriginOf(ip IP) (topology.ASN, bool) {
+	e, ok := t.Lookup(ip)
+	if !ok || e.MOAS() {
+		return 0, false
+	}
+	return e.Origins[0], true
+}
+
+// PrefixesOf returns the prefixes originated by asn.
+func (t *Table) PrefixesOf(asn topology.ASN) []Prefix { return t.perAS[asn] }
+
+// RandomIPIn draws an address inside one of asn's prefixes.
+func (t *Table) RandomIPIn(g *rng.Rand, asn topology.ASN) (IP, bool) {
+	prefixes := t.perAS[asn]
+	if len(prefixes) == 0 {
+		return 0, false
+	}
+	pre := prefixes[g.Intn(len(prefixes))]
+	span := uint32(1) << (32 - uint(pre.Bits))
+	// Avoid network/broadcast-style extremes for realism.
+	off := uint32(g.IntBetween(1, int(span-2)))
+	return pre.Base + IP(off), true
+}
+
+// Size returns the number of routed prefixes.
+func (t *Table) Size() int { return len(t.entries) }
+
+// MOASCount returns the number of MOAS entries.
+func (t *Table) MOASCount() int {
+	n := 0
+	for _, e := range t.entries {
+		if e.MOAS() {
+			n++
+		}
+	}
+	return n
+}

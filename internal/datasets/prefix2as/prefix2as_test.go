@@ -1,0 +1,154 @@
+package prefix2as
+
+import (
+	"testing"
+	"testing/quick"
+
+	"shortcuts/internal/datasets/apnic"
+	"shortcuts/internal/rng"
+	"shortcuts/internal/topology"
+	"shortcuts/internal/worlddata"
+)
+
+var (
+	cachedTopo  *topology.Topology
+	cachedTable *Table
+)
+
+func testTable(t *testing.T) (*topology.Topology, *Table) {
+	t.Helper()
+	if cachedTable != nil {
+		return cachedTopo, cachedTable
+	}
+	g := rng.New(1)
+	ds := apnic.Generate(g.Split("apnic"), apnic.DefaultParams(worlddata.CountryCodes()))
+	topo, err := topology.Generate(g, topology.DefaultParams(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedTopo = topo
+	cachedTable = Generate(g, topo, DefaultParams())
+	return cachedTopo, cachedTable
+}
+
+func TestEveryASHasPrefixes(t *testing.T) {
+	topo, table := testTable(t)
+	for _, a := range topo.ASes {
+		if len(table.PrefixesOf(a.ASN)) == 0 {
+			t.Errorf("AS %d has no prefixes", a.ASN)
+		}
+	}
+}
+
+func TestLookupRoundTrip(t *testing.T) {
+	topo, table := testTable(t)
+	g := rng.New(77)
+	for _, a := range topo.ASes {
+		ip, ok := table.RandomIPIn(g, a.ASN)
+		if !ok {
+			t.Fatalf("no IP for AS %d", a.ASN)
+		}
+		e, ok := table.Lookup(ip)
+		if !ok {
+			t.Fatalf("IP %v of AS %d unrouted", ip, a.ASN)
+		}
+		found := false
+		for _, o := range e.Origins {
+			if o == a.ASN {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("IP %v looked up to %v, want origin %d", ip, e.Origins, a.ASN)
+		}
+	}
+}
+
+func TestOriginOfRejectsMOAS(t *testing.T) {
+	_, table := testTable(t)
+	moas := 0
+	for _, e := range table.entries {
+		if e.MOAS() {
+			moas++
+			if _, ok := table.OriginOf(e.Prefix.Base + 1); ok {
+				t.Fatalf("OriginOf accepted MOAS prefix %v", e.Prefix)
+			}
+		}
+	}
+	if moas == 0 {
+		t.Fatal("no MOAS entries generated; filter path untested")
+	}
+}
+
+func TestMOASRate(t *testing.T) {
+	_, table := testTable(t)
+	rate := float64(table.MOASCount()) / float64(table.Size())
+	if rate < 0.005 || rate > 0.05 {
+		t.Fatalf("MOAS rate = %.3f, want ~0.02", rate)
+	}
+}
+
+func TestLookupUnrouted(t *testing.T) {
+	_, table := testTable(t)
+	if _, ok := table.Lookup(IP(0xC0A80001)); ok { // 192.168.0.1, outside 10/8 pool
+		t.Fatal("unrouted address resolved")
+	}
+	if _, ok := table.Lookup(0); ok {
+		t.Fatal("0.0.0.0 resolved")
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := Prefix{Base: 0x0A000000, Bits: 20}
+	if !p.Contains(0x0A000001) || !p.Contains(0x0A000FFF) {
+		t.Fatal("prefix rejects in-range addresses")
+	}
+	if p.Contains(0x0A001000) {
+		t.Fatal("prefix accepts out-of-range address")
+	}
+	all := Prefix{Base: 0, Bits: 0}
+	if !all.Contains(0xFFFFFFFF) {
+		t.Fatal("/0 rejects an address")
+	}
+}
+
+func TestPrefixStrings(t *testing.T) {
+	p := Prefix{Base: 0x0A010203, Bits: 24}
+	if got := p.String(); got != "10.1.2.3/24" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := IP(0x0A000001).String(); got != "10.0.0.1" {
+		t.Fatalf("IP.String = %q", got)
+	}
+}
+
+func TestDisjointAllocations(t *testing.T) {
+	_, table := testTable(t)
+	for i := 1; i < len(table.entries); i++ {
+		a, b := table.entries[i-1].Prefix, table.entries[i].Prefix
+		if a.Contains(b.Base) && a.Base != b.Base {
+			t.Fatalf("overlapping prefixes %v and %v", a, b)
+		}
+	}
+}
+
+func TestQuickLookupConsistent(t *testing.T) {
+	_, table := testTable(t)
+	f := func(raw uint32) bool {
+		e, ok := table.Lookup(IP(raw))
+		if !ok {
+			return true
+		}
+		return e.Prefix.Contains(IP(raw))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomIPInUnknownAS(t *testing.T) {
+	_, table := testTable(t)
+	if _, ok := table.RandomIPIn(rng.New(1), 999999); ok {
+		t.Fatal("RandomIPIn returned an IP for unknown AS")
+	}
+}

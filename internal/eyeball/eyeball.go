@@ -1,0 +1,119 @@
+// Package eyeball implements the endpoint-selection methodology of
+// Section 2.1: verify eyeball (ASN, country) tuples via the APNIC
+// user-coverage cutoff, intersect them with the eligible RIPE Atlas probe
+// population, and sample one AS per country and one probe per AS for each
+// measurement round — preserving country-level diversity without biasing
+// toward densely-probed eyeballs.
+package eyeball
+
+import (
+	"sort"
+
+	"shortcuts/internal/atlas"
+	"shortcuts/internal/datasets/apnic"
+	"shortcuts/internal/rng"
+	"shortcuts/internal/topology"
+)
+
+// Cutoff is the paper's validated user-coverage threshold (percent) for
+// calling an AS an eyeball within its country.
+const Cutoff = 10.0
+
+// Tuple is a verified eyeball (ASN, country) pair.
+type Tuple struct {
+	ASN topology.ASN
+	CC  string
+}
+
+// Selector samples campaign endpoints.
+type Selector struct {
+	cutoff   float64
+	verified map[Tuple]bool
+	// byCountry maps a country to the verified ASes that actually have
+	// eligible probes there.
+	byCountry map[string][]topology.ASN
+	countries []string
+	platform  *atlas.Platform
+}
+
+// New builds a selector from the APNIC dataset and the probe platform
+// using the given coverage cutoff (use the Cutoff constant for the
+// paper's value).
+func New(ds *apnic.Dataset, platform *atlas.Platform, cutoff float64) *Selector {
+	s := &Selector{
+		cutoff:    cutoff,
+		verified:  make(map[Tuple]bool),
+		byCountry: make(map[string][]topology.ASN),
+		platform:  platform,
+	}
+	for _, rec := range ds.EyeballASes(cutoff) {
+		s.verified[Tuple{ASN: topology.ASN(rec.ASN), CC: rec.CC}] = true
+	}
+	seen := make(map[string]bool)
+	for t := range s.verified {
+		if len(platform.EligibleIn(t.ASN, t.CC)) == 0 {
+			continue
+		}
+		s.byCountry[t.CC] = append(s.byCountry[t.CC], t.ASN)
+		if !seen[t.CC] {
+			seen[t.CC] = true
+			s.countries = append(s.countries, t.CC)
+		}
+	}
+	sort.Strings(s.countries)
+	for cc := range s.byCountry {
+		asns := s.byCountry[cc]
+		sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	}
+	return s
+}
+
+// IsEyeball reports whether (asn, cc) is a verified eyeball tuple. This
+// is the predicate that splits RAR_eye from RAR_other relays.
+func (s *Selector) IsEyeball(asn topology.ASN, cc string) bool {
+	return s.verified[Tuple{ASN: asn, CC: cc}]
+}
+
+// Countries returns the countries with at least one verified eyeball AS
+// hosting eligible probes (the paper's 82).
+func (s *Selector) Countries() []string { return s.countries }
+
+// VerifiedASCount returns how many verified (ASN, CC) tuples have
+// eligible probes.
+func (s *Selector) VerifiedASCount() int {
+	n := 0
+	for _, asns := range s.byCountry {
+		n += len(asns)
+	}
+	return n
+}
+
+// SampleEndpoints draws the round's RAE set: for each country, one
+// uniformly random verified AS, then one uniformly random eligible probe
+// within it. Countries whose candidate probes are all offline this round
+// are skipped.
+func (s *Selector) SampleEndpoints(g *rng.Rand, round int) []*atlas.Probe {
+	g = g.SplitN("endpoints", round)
+	var out []*atlas.Probe
+	for _, cc := range s.countries {
+		asns := s.byCountry[cc]
+		// Try ASes in random order until one yields a responsive probe.
+		var chosen *atlas.Probe
+		for _, ai := range g.Perm(len(asns)) {
+			probes := s.platform.EligibleIn(asns[ai], cc)
+			for _, pi := range g.Perm(len(probes)) {
+				if s.platform.Responsive(probes[pi].ID, round) {
+					chosen = probes[pi]
+					break
+				}
+			}
+			if chosen != nil {
+				break
+			}
+		}
+		if chosen != nil {
+			out = append(out, chosen)
+		}
+	}
+	return out
+}

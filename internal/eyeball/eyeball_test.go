@@ -1,0 +1,120 @@
+package eyeball_test
+
+import (
+	"testing"
+
+	"shortcuts/internal/eyeball"
+	"shortcuts/internal/rng"
+	"shortcuts/internal/sim"
+	"shortcuts/internal/topology"
+)
+
+var cachedWorld *sim.World
+
+func testWorld(t *testing.T) *sim.World {
+	t.Helper()
+	if cachedWorld != nil {
+		return cachedWorld
+	}
+	w, err := sim.Build(sim.DefaultWorldParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedWorld = w
+	return w
+}
+
+func TestCountriesScale(t *testing.T) {
+	w := testWorld(t)
+	// Paper: 82 countries with eligible eyeball probes.
+	n := len(w.Selector.Countries())
+	if n < 55 || n > 95 {
+		t.Fatalf("endpoint countries = %d, want ~75-82", n)
+	}
+}
+
+func TestVerifiedASScale(t *testing.T) {
+	w := testWorld(t)
+	// Paper: 141 ASes with eligible probes.
+	n := w.Selector.VerifiedASCount()
+	if n < 90 || n > 220 {
+		t.Fatalf("verified AS tuples with probes = %d, want ~141", n)
+	}
+}
+
+func TestIsEyeballAgreesWithTopology(t *testing.T) {
+	w := testWorld(t)
+	// Every topology eyeball AS was instantiated from an APNIC record at
+	// or above the cutoff, so the selector must verify it.
+	for _, a := range w.Topo.ASesOfType(topology.Eyeball) {
+		if !w.Selector.IsEyeball(a.ASN, a.CC) {
+			t.Errorf("topology eyeball %d/%s not verified", a.ASN, a.CC)
+		}
+	}
+	// And core networks must never be verified.
+	for _, a := range w.Topo.ASesOfType(topology.Tier1, topology.Transit, topology.Campus) {
+		if w.Selector.IsEyeball(a.ASN, a.CC) {
+			t.Errorf("core network %d/%s verified as eyeball", a.ASN, a.CC)
+		}
+	}
+}
+
+func TestSampleOnePerCountry(t *testing.T) {
+	w := testWorld(t)
+	eps := w.Selector.SampleEndpoints(rng.New(2), 0)
+	if len(eps) < 50 {
+		t.Fatalf("sampled %d endpoints, want most of ~75 countries", len(eps))
+	}
+	seen := make(map[string]bool)
+	for _, p := range eps {
+		if seen[p.CC] {
+			t.Fatalf("two endpoints in %s", p.CC)
+		}
+		seen[p.CC] = true
+		if !p.Eligible() {
+			t.Fatalf("ineligible probe %d sampled", p.ID)
+		}
+		if !w.Selector.IsEyeball(p.AS, p.CC) {
+			t.Fatalf("endpoint probe %d not in a verified eyeball", p.ID)
+		}
+		if !w.Atlas.Responsive(p.ID, 0) {
+			t.Fatalf("offline probe %d sampled", p.ID)
+		}
+	}
+}
+
+func TestSampleDeterministicPerRound(t *testing.T) {
+	w := testWorld(t)
+	a := w.Selector.SampleEndpoints(rng.New(5), 3)
+	b := w.Selector.SampleEndpoints(rng.New(5), 3)
+	if len(a) != len(b) {
+		t.Fatal("sample sizes differ")
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatalf("sample differs at %d", i)
+		}
+	}
+}
+
+func TestSampleVariesAcrossRounds(t *testing.T) {
+	w := testWorld(t)
+	g := rng.New(5)
+	a := w.Selector.SampleEndpoints(g, 0)
+	b := w.Selector.SampleEndpoints(g, 1)
+	diff := 0
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i].ID != b[i].ID {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("endpoint samples identical across rounds")
+	}
+}
+
+func TestCutoffConstant(t *testing.T) {
+	if eyeball.Cutoff != 10.0 {
+		t.Fatalf("Cutoff = %v, want the paper's validated 10%%", eyeball.Cutoff)
+	}
+}

@@ -1,0 +1,55 @@
+package latency
+
+import (
+	"fmt"
+	"time"
+
+	"shortcuts/internal/topology"
+)
+
+// AccessClass describes how a measurement endpoint attaches to its AS.
+type AccessClass int
+
+const (
+	// HostAccess is a residential/office end host behind a last-mile
+	// access link (RIPE Atlas probes in eyeballs).
+	HostAccess AccessClass = iota
+	// ServerAccess is a server or router interface attached at a PoP or
+	// inside a facility (colo IPs, PlanetLab servers, anchors, LGs).
+	ServerAccess
+)
+
+// String implements fmt.Stringer.
+func (c AccessClass) String() string {
+	switch c {
+	case HostAccess:
+		return "host"
+	case ServerAccess:
+		return "server"
+	default:
+		return fmt.Sprintf("AccessClass(%d)", int(c))
+	}
+}
+
+// Endpoint is a measurable attachment point in the synthetic Internet: an
+// (AS, city) pair plus the one-way access delay between the measured IP
+// and its AS's backbone. Access is charged twice per RTT (out and back),
+// and — crucially for the paper's relay comparison — four times when the
+// endpoint is used as a relay, because both overlay legs cross it.
+type Endpoint struct {
+	AS     topology.ASN
+	City   int
+	Access time.Duration
+}
+
+// Key returns a compact identity for map keys and deterministic hashing.
+func (e Endpoint) Key() EndpointKey {
+	return EndpointKey{AS: e.AS, City: e.City, Access: e.Access}
+}
+
+// EndpointKey is the comparable identity of an Endpoint.
+type EndpointKey struct {
+	AS     topology.ASN
+	City   int
+	Access time.Duration
+}

@@ -1,0 +1,282 @@
+// Package latency prices round-trip times over the synthetic Internet.
+//
+// An RTT between two endpoints decomposes as:
+//
+//	RTT = forward one-way + reverse one-way
+//	one-way = propagation(PoP polyline · directness) +
+//	          perASHop · AS boundaries + perCityHop · segments +
+//	          access delay of both endpoints
+//
+// scaled by a per-path static congestion multiplier (log-normal with a
+// pathological tail) and a per-path diurnal factor, with per-ping
+// multiplicative jitter, occasional heavy spikes and loss on top.
+//
+// All stochastic draws derive from (seed, path identity) or (seed, path
+// identity, round, slot), never from call order, so concurrent campaigns
+// are bit-for-bit reproducible.
+package latency
+
+import (
+	"hash/fnv"
+	"math"
+	"sync"
+	"time"
+
+	"shortcuts/internal/bgp"
+	"shortcuts/internal/geo"
+	"shortcuts/internal/rng"
+)
+
+// Engine computes RTTs. Safe for concurrent use.
+type Engine struct {
+	router *bgp.Router
+	p      Params
+	root   *rng.Rand
+
+	mu   sync.RWMutex
+	base map[pairKey]*pathState
+}
+
+// pairKey is the canonical (unordered) identity of an endpoint pair.
+type pairKey struct {
+	lo, hi EndpointKey
+}
+
+func canonicalKey(a, b Endpoint) pairKey {
+	ka, kb := a.Key(), b.Key()
+	if less(kb, ka) {
+		ka, kb = kb, ka
+	}
+	return pairKey{lo: ka, hi: kb}
+}
+
+func less(a, b EndpointKey) bool {
+	if a.AS != b.AS {
+		return a.AS < b.AS
+	}
+	if a.City != b.City {
+		return a.City < b.City
+	}
+	return a.Access < b.Access
+}
+
+// pathState is the cached, deterministic state of one endpoint pair. It
+// holds scalars only: campaigns cache hundreds of thousands of pairs, so
+// the PoP polylines are recomputed on demand (the router memoises its
+// routing trees, which makes re-expansion cheap).
+type pathState struct {
+	wideRTT    time.Duration // propagation + hops, both directions
+	accessRTT  time.Duration // endpoint access, scaled by line factors
+	congestion float64       // static wide-area multiplier
+	diurnalAmp float64
+	asymmetry  float64 // fractional offset added in the lo->hi direction
+	midLon     float64 // longitude of the path midpoint, for local time
+}
+
+// staticRTT is the congestion-scaled load-independent RTT.
+func (st *pathState) staticRTT() float64 {
+	return float64(st.wideRTT)*st.congestion + float64(st.accessRTT)
+}
+
+// New creates an engine over the given router with the given parameters;
+// root drives all stochastic draws.
+func New(router *bgp.Router, p Params, root *rng.Rand) *Engine {
+	return &Engine{
+		router: router,
+		p:      p,
+		root:   root.Split("latency"),
+		base:   make(map[pairKey]*pathState),
+	}
+}
+
+// Params returns the engine's calibration constants.
+func (e *Engine) Params() Params { return e.p }
+
+// state returns (computing if needed) the deterministic path state.
+func (e *Engine) state(a, b Endpoint) (*pathState, error) {
+	key := canonicalKey(a, b)
+	e.mu.RLock()
+	st, ok := e.base[key]
+	e.mu.RUnlock()
+	if ok {
+		return st, nil
+	}
+	st, err := e.computeState(key)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.base[key] = st
+	e.mu.Unlock()
+	return st, nil
+}
+
+func (e *Engine) computeState(key pairKey) (*pathState, error) {
+	lo, hi := key.lo, key.hi
+	fwd, err := e.router.Expand(lo.AS, lo.City, hi.AS, hi.City)
+	if err != nil {
+		return nil, err
+	}
+	rev, err := e.router.Expand(hi.AS, hi.City, lo.AS, lo.City)
+	if err != nil {
+		return nil, err
+	}
+
+	oneway := func(p *bgp.PopPath) time.Duration {
+		prop := geo.PropDelay(p.DistanceKm * e.p.RouteDirectness)
+		hops := time.Duration(p.ASHops())*e.p.PerASHop +
+			time.Duration(p.CityHops())*e.p.PerCityHop
+		return prop + hops
+	}
+	wide := oneway(fwd) + oneway(rev)
+
+	// Access delay is scaled by a per-endpoint line-quality factor; the
+	// wide-area component by a per-path congestion factor. Both derive
+	// from network identity — the (AS, city) attachment pair — never
+	// from call order, so two hosts behind the same attachments share
+	// traits and concurrent campaigns reproduce exactly.
+	access := 2 * (scaleDuration(lo.Access, e.accessFactor(lo)) +
+		scaleDuration(hi.Access, e.accessFactor(hi)))
+
+	g := e.root.SplitN("path", int(hashNetPath(key)))
+	congestion := e.p.CongestionMedian * g.LogNormal(0, e.p.CoreCongestionSigma)
+	if g.Bool(e.p.BadPathProb) {
+		congestion *= g.Uniform(e.p.BadPathMin, e.p.BadPathMax)
+	}
+	topo := e.router.Topology()
+	mid := geo.Midpoint(topo.CityLoc(lo.City), topo.CityLoc(hi.City))
+
+	return &pathState{
+		wideRTT:    wide,
+		accessRTT:  access,
+		congestion: congestion,
+		diurnalAmp: g.Uniform(0, e.p.DiurnalAmpMax),
+		asymmetry:  g.Normal(0, e.p.AsymmetrySigma),
+		midLon:     mid.Lon,
+	}, nil
+}
+
+func scaleDuration(d time.Duration, f float64) time.Duration {
+	return time.Duration(float64(d) * f)
+}
+
+// accessFactor is the static line-quality multiplier of one endpoint's
+// access delay. It is a pure function of the endpoint's full identity, so
+// a congested DSL line is consistently congested across every path it
+// terminates or relays.
+func (e *Engine) accessFactor(k EndpointKey) float64 {
+	h := fnv.New64a()
+	writeEndpointKey(h, k, true)
+	g := e.root.SplitN("endpoint", int(h.Sum64()))
+	return g.LogNormal(0, e.p.AccessCongestionSigma)
+}
+
+func hashPair(key pairKey) uint64 {
+	h := fnv.New64a()
+	writeEndpointKey(h, key.lo, true)
+	writeEndpointKey(h, key.hi, true)
+	return h.Sum64()
+}
+
+// hashNetPath hashes only the (AS, city) attachment points, ignoring
+// access delay, so path traits are shared by co-attached hosts.
+func hashNetPath(key pairKey) uint64 {
+	h := fnv.New64a()
+	writeEndpointKey(h, key.lo, false)
+	writeEndpointKey(h, key.hi, false)
+	return h.Sum64()
+}
+
+func writeEndpointKey(h interface{ Write([]byte) (int, error) }, k EndpointKey, withAccess bool) {
+	var buf [20]byte
+	u := uint64(k.AS)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(u >> (8 * i))
+	}
+	c := uint32(k.City)
+	for i := 0; i < 4; i++ {
+		buf[8+i] = byte(c >> (8 * i))
+	}
+	n := 12
+	if withAccess {
+		ac := uint64(k.Access)
+		for i := 0; i < 8; i++ {
+			buf[12+i] = byte(ac >> (8 * i))
+		}
+		n = 20
+	}
+	h.Write(buf[:n])
+}
+
+// BaseRTT returns the load-independent RTT between two endpoints: the
+// wide-area component scaled by the path's static congestion multiplier
+// plus the line-scaled access delays. This is what the medians of
+// repeated pings converge to at off-peak hours.
+func (e *Engine) BaseRTT(a, b Endpoint) (time.Duration, error) {
+	st, err := e.state(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(st.staticRTT()), nil
+}
+
+// diurnalFactor returns the load factor at time t for a path whose
+// midpoint is at longitude midLon: a sinusoid peaking at 21:00 local.
+func diurnalFactor(t time.Time, amp, midLon float64) float64 {
+	if amp == 0 {
+		return 1
+	}
+	localHour := float64(t.UTC().Hour()) + float64(t.UTC().Minute())/60 + midLon/15
+	phase := (localHour - 21) / 24 * 2 * math.Pi
+	return 1 + amp*(0.5+0.5*math.Cos(phase))
+}
+
+// Ping simulates one ping from a to b during measurement round `round`,
+// ping slot `slot`, at wall time t. It returns the observed RTT and
+// whether a reply arrived at all. Swapping a and b yields a slightly
+// different value (path asymmetry) drawn from the same path state.
+func (e *Engine) Ping(a, b Endpoint, round, slot int, t time.Time) (time.Duration, bool, error) {
+	st, err := e.state(a, b)
+	if err != nil {
+		return 0, false, err
+	}
+	key := canonicalKey(a, b)
+	h := hashPair(key) ^ uint64(round)<<32 ^ uint64(slot)<<16
+	g := e.root.SplitN("ping", int(h))
+
+	if g.Bool(e.p.LossProb) {
+		return 0, false, nil
+	}
+	rtt := st.staticRTT()
+	rtt *= diurnalFactor(t, st.diurnalAmp, st.midLon)
+	// Direction: a->b in canonical order gets +asymmetry, reverse gets -.
+	if a.Key() == key.lo {
+		rtt *= 1 + st.asymmetry
+	} else {
+		rtt *= 1 - st.asymmetry
+	}
+	rtt *= g.LogNormal(0, e.p.JitterSigma)
+	if g.Bool(e.p.SpikeProb) {
+		spike := time.Duration(g.Pareto(float64(e.p.SpikeMin), e.p.SpikeAlpha))
+		if spike > e.p.SpikeCap {
+			spike = e.p.SpikeCap
+		}
+		rtt += float64(spike)
+	}
+	return time.Duration(rtt), true, nil
+}
+
+// Trace returns the forward PoP-level path from a to b (the city polyline
+// traffic follows), for traceroute-style analyses. Traces are recomputed
+// on demand rather than cached; the router's memoised trees keep this
+// cheap.
+func (e *Engine) Trace(a, b Endpoint) (*bgp.PopPath, error) {
+	return e.router.Expand(a.AS, a.City, b.AS, b.City)
+}
+
+// CachedPairs reports how many endpoint pairs have cached path state.
+func (e *Engine) CachedPairs() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.base)
+}

@@ -1,0 +1,335 @@
+package latency
+
+import (
+	"testing"
+	"time"
+
+	"shortcuts/internal/bgp"
+	"shortcuts/internal/datasets/apnic"
+	"shortcuts/internal/geo"
+	"shortcuts/internal/rng"
+	"shortcuts/internal/topology"
+	"shortcuts/internal/worlddata"
+)
+
+var (
+	cachedEngine *Engine
+	cachedTopo   *topology.Topology
+)
+
+func testEngine(t *testing.T) *Engine {
+	t.Helper()
+	if cachedEngine != nil {
+		return cachedEngine
+	}
+	g := rng.New(1)
+	ds := apnic.Generate(g.Split("apnic"), apnic.DefaultParams(worlddata.CountryCodes()))
+	topo, err := topology.Generate(g, topology.DefaultParams(), ds)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	cachedTopo = topo
+	cachedEngine = New(bgp.New(topo), DefaultParams(), g)
+	return cachedEngine
+}
+
+func testEndpoints(t *testing.T) (Endpoint, Endpoint) {
+	t.Helper()
+	e := testEngine(t)
+	eyes := e.router.Topology().ASesOfType(topology.Eyeball)
+	a := Endpoint{AS: eyes[0].ASN, City: eyes[0].HomeCity(), Access: 6 * time.Millisecond}
+	b := Endpoint{AS: eyes[len(eyes)-1].ASN, City: eyes[len(eyes)-1].HomeCity(), Access: 8 * time.Millisecond}
+	return a, b
+}
+
+func TestBaseRTTPositiveAndStable(t *testing.T) {
+	e := testEngine(t)
+	a, b := testEndpoints(t)
+	r1, err := e.BaseRTT(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 <= 0 {
+		t.Fatalf("BaseRTT = %v, want > 0", r1)
+	}
+	r2, err := e.BaseRTT(a, b)
+	if err != nil || r1 != r2 {
+		t.Fatalf("BaseRTT unstable: %v vs %v (%v)", r1, r2, err)
+	}
+}
+
+func TestBaseRTTSymmetric(t *testing.T) {
+	e := testEngine(t)
+	a, b := testEndpoints(t)
+	r1, _ := e.BaseRTT(a, b)
+	r2, err := e.BaseRTT(b, a)
+	if err != nil || r1 != r2 {
+		t.Fatalf("BaseRTT not symmetric: %v vs %v (%v)", r1, r2, err)
+	}
+}
+
+func TestBaseRTTAboveSpeedOfLight(t *testing.T) {
+	e := testEngine(t)
+	topo := e.router.Topology()
+	eyes := topo.ASesOfType(topology.Eyeball)
+	for i := 0; i < len(eyes); i += 9 {
+		for j := 3; j < len(eyes); j += 17 {
+			if eyes[i].ASN == eyes[j].ASN {
+				continue
+			}
+			a := Endpoint{AS: eyes[i].ASN, City: eyes[i].HomeCity(), Access: time.Millisecond}
+			b := Endpoint{AS: eyes[j].ASN, City: eyes[j].HomeCity(), Access: time.Millisecond}
+			rtt, err := e.BaseRTT(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			min := geo.MinRTT(topo.CityLoc(a.City), topo.CityLoc(b.City))
+			if rtt < min {
+				t.Fatalf("RTT %v beats speed of light %v for %d->%d", rtt, min, a.AS, b.AS)
+			}
+		}
+	}
+}
+
+func TestBaseRTTRealisticMagnitudes(t *testing.T) {
+	// Transatlantic eyeball-to-eyeball RTTs should land in tens to a few
+	// hundred ms — the sanity band for the whole calibration.
+	e := testEngine(t)
+	topo := e.router.Topology()
+	var gb, us *topology.AS
+	for _, eye := range topo.ASesOfType(topology.Eyeball) {
+		if eye.CC == "GB" && gb == nil {
+			gb = eye
+		}
+		if eye.CC == "US" && us == nil {
+			us = eye
+		}
+	}
+	if gb == nil || us == nil {
+		t.Skip("missing GB or US eyeball")
+	}
+	a := Endpoint{AS: gb.ASN, City: gb.HomeCity(), Access: 6 * time.Millisecond}
+	b := Endpoint{AS: us.ASN, City: us.HomeCity(), Access: 6 * time.Millisecond}
+	rtt, err := e.BaseRTT(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt < 60*time.Millisecond || rtt > 400*time.Millisecond {
+		t.Fatalf("GB-US eyeball RTT = %v, want 60-400ms", rtt)
+	}
+}
+
+func TestAccessDelayCharged(t *testing.T) {
+	e := testEngine(t)
+	a, b := testEndpoints(t)
+	thin := a
+	thin.Access = 0
+	fat := a
+	fat.Access = 10 * time.Millisecond
+	rThin, err1 := e.BaseRTT(thin, b)
+	rFat, err2 := e.BaseRTT(fat, b)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	// 10ms one-way access appears twice in the RTT, scaled by congestion
+	// (which differs per path identity, so allow slack).
+	diff := rFat - rThin
+	if diff < 12*time.Millisecond || diff > 40*time.Millisecond {
+		t.Fatalf("access delta = %v, want ~2x10ms scaled", diff)
+	}
+}
+
+func TestPingDeterministicPerSlot(t *testing.T) {
+	e := testEngine(t)
+	a, b := testEndpoints(t)
+	at := time.Date(2017, 4, 20, 12, 0, 0, 0, time.UTC)
+	r1, ok1, err1 := e.Ping(a, b, 3, 2, at)
+	r2, ok2, err2 := e.Ping(a, b, 3, 2, at)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if r1 != r2 || ok1 != ok2 {
+		t.Fatalf("same-slot pings differ: %v/%v vs %v/%v", r1, ok1, r2, ok2)
+	}
+	r3, _, _ := e.Ping(a, b, 3, 3, at)
+	if r1 == r3 {
+		t.Fatal("different slots produced identical RTTs (no noise)")
+	}
+}
+
+func TestPingDirectionNearlySymmetric(t *testing.T) {
+	// Paper: for ~80% of pairs, reversing ping direction changes the
+	// median RTT by <5%.
+	e := testEngine(t)
+	topo := e.router.Topology()
+	eyes := topo.ASesOfType(topology.Eyeball)
+	at := time.Date(2017, 4, 20, 6, 0, 0, 0, time.UTC)
+	within5 := 0
+	total := 0
+	for i := 0; i < len(eyes)-1; i += 4 {
+		a := Endpoint{AS: eyes[i].ASN, City: eyes[i].HomeCity(), Access: 5 * time.Millisecond}
+		b := Endpoint{AS: eyes[i+1].ASN, City: eyes[i+1].HomeCity(), Access: 5 * time.Millisecond}
+		fwd := medianPing(t, e, a, b, at)
+		rev := medianPing(t, e, b, a, at)
+		if fwd == 0 || rev == 0 {
+			continue
+		}
+		total++
+		ratio := float64(fwd-rev) / float64(rev)
+		if ratio < 0 {
+			ratio = -ratio
+		}
+		if ratio < 0.05 {
+			within5++
+		}
+	}
+	if total < 20 {
+		t.Fatalf("only %d pairs sampled", total)
+	}
+	frac := float64(within5) / float64(total)
+	if frac < 0.6 {
+		t.Fatalf("only %.0f%% of pairs within 5%% across directions, want >= 60%%", frac*100)
+	}
+}
+
+func medianPing(t *testing.T, e *Engine, a, b Endpoint, at time.Time) time.Duration {
+	t.Helper()
+	var vals []time.Duration
+	for s := 0; s < 6; s++ {
+		rtt, ok, err := e.Ping(a, b, 0, s, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			vals = append(vals, rtt)
+		}
+	}
+	if len(vals) < 3 {
+		return 0
+	}
+	for i := 1; i < len(vals); i++ {
+		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	return vals[len(vals)/2]
+}
+
+func TestLossRateApproximate(t *testing.T) {
+	e := testEngine(t)
+	a, b := testEndpoints(t)
+	at := time.Date(2017, 4, 25, 9, 0, 0, 0, time.UTC)
+	lost := 0
+	n := 4000
+	for s := 0; s < n; s++ {
+		_, ok, err := e.Ping(a, b, 99, s, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			lost++
+		}
+	}
+	rate := float64(lost) / float64(n)
+	if rate < 0.01 || rate > 0.06 {
+		t.Fatalf("loss rate = %.3f, want ~0.03", rate)
+	}
+}
+
+func TestDiurnalFactorShape(t *testing.T) {
+	peak := diurnalFactor(time.Date(2017, 4, 20, 21, 0, 0, 0, time.UTC), 0.05, 0)
+	trough := diurnalFactor(time.Date(2017, 4, 20, 9, 0, 0, 0, time.UTC), 0.05, 0)
+	if peak <= trough {
+		t.Fatalf("peak %v <= trough %v", peak, trough)
+	}
+	if peak > 1.051 || trough < 0.999 {
+		t.Fatalf("diurnal out of band: peak %v trough %v", peak, trough)
+	}
+	if got := diurnalFactor(time.Now(), 0, 0); got != 1 {
+		t.Fatalf("zero-amplitude factor = %v, want 1", got)
+	}
+}
+
+func TestTraceDirectional(t *testing.T) {
+	e := testEngine(t)
+	a, b := testEndpoints(t)
+	fwd, err := e.Trace(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := e.Trace(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fwd.Cities[0] != a.City || fwd.Cities[len(fwd.Cities)-1] != b.City {
+		t.Fatalf("forward trace endpoints wrong: %v", fwd.Cities)
+	}
+	if rev.Cities[0] != b.City || rev.Cities[len(rev.Cities)-1] != a.City {
+		t.Fatalf("reverse trace endpoints wrong: %v", rev.Cities)
+	}
+}
+
+func TestCachedPairsGrows(t *testing.T) {
+	e := testEngine(t)
+	before := e.CachedPairs()
+	a, b := testEndpoints(t)
+	c := a
+	c.Access = 123 * time.Microsecond // distinct endpoint identity
+	if _, err := e.BaseRTT(c, b); err != nil {
+		t.Fatal(err)
+	}
+	if e.CachedPairs() <= before-1 {
+		t.Fatal("cache did not grow")
+	}
+}
+
+func TestEngineDeterministicAcrossInstances(t *testing.T) {
+	build := func() (*Engine, Endpoint, Endpoint) {
+		g := rng.New(42)
+		ds := apnic.Generate(g.Split("apnic"), apnic.DefaultParams(worlddata.CountryCodes()))
+		topo, err := topology.Generate(g, topology.SmallParams(), ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := New(bgp.New(topo), DefaultParams(), g)
+		eyes := topo.ASesOfType(topology.Eyeball)
+		a := Endpoint{AS: eyes[0].ASN, City: eyes[0].HomeCity(), Access: 5 * time.Millisecond}
+		b := Endpoint{AS: eyes[9].ASN, City: eyes[9].HomeCity(), Access: 7 * time.Millisecond}
+		return eng, a, b
+	}
+	e1, a1, b1 := build()
+	e2, a2, b2 := build()
+	at := time.Date(2017, 5, 1, 15, 0, 0, 0, time.UTC)
+	for s := 0; s < 20; s++ {
+		r1, ok1, _ := e1.Ping(a1, b1, 1, s, at)
+		r2, ok2, _ := e2.Ping(a2, b2, 1, s, at)
+		if r1 != r2 || ok1 != ok2 {
+			t.Fatalf("engines diverge at slot %d: %v vs %v", s, r1, r2)
+		}
+	}
+}
+
+func TestOrderIndependence(t *testing.T) {
+	// Path state must not depend on which pair was priced first.
+	g1 := rng.New(9)
+	ds := apnic.Generate(g1.Split("apnic"), apnic.DefaultParams(worlddata.CountryCodes()))
+	topo, err := topology.Generate(g1, topology.SmallParams(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eyes := topo.ASesOfType(topology.Eyeball)
+	a := Endpoint{AS: eyes[0].ASN, City: eyes[0].HomeCity(), Access: time.Millisecond}
+	b := Endpoint{AS: eyes[5].ASN, City: eyes[5].HomeCity(), Access: time.Millisecond}
+	c := Endpoint{AS: eyes[10].ASN, City: eyes[10].HomeCity(), Access: time.Millisecond}
+
+	e1 := New(bgp.New(topo), DefaultParams(), rng.New(9))
+	e2 := New(bgp.New(topo), DefaultParams(), rng.New(9))
+	// e1 prices (a,b) then (a,c); e2 prices (a,c) then (a,b).
+	ab1, _ := e1.BaseRTT(a, b)
+	ac1, _ := e1.BaseRTT(a, c)
+	ac2, _ := e2.BaseRTT(a, c)
+	ab2, _ := e2.BaseRTT(a, b)
+	if ab1 != ab2 || ac1 != ac2 {
+		t.Fatalf("order-dependent pricing: ab %v/%v ac %v/%v", ab1, ab2, ac1, ac2)
+	}
+}

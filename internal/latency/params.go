@@ -1,0 +1,82 @@
+package latency
+
+import "time"
+
+// Params are the calibration constants of the RTT model. The defaults are
+// tuned so that a default-seed campaign reproduces the shapes of the
+// paper's Figures 2-4; see DESIGN.md section 5. All delays are one-way
+// unless stated otherwise.
+type Params struct {
+	// RouteDirectness multiplies the geodesic polyline length: fiber
+	// follows conduits, not great circles. Typical measured values are
+	// 1.2-1.7; the default is 1.4.
+	RouteDirectness float64
+
+	// PerASHop is processing/queueing added per AS boundary crossed.
+	PerASHop time.Duration
+	// PerCityHop is added per PoP-level segment (router hops inside and
+	// between metros).
+	PerCityHop time.Duration
+
+	// CongestionMedian is the median of the per-path static congestion
+	// multiplier applied to the wide-area component (propagation + hops).
+	// Access delay is scaled separately per endpoint: static congestion
+	// on a DSL line affects that line, not the ocean crossing, so a relay
+	// can only "harvest" variance it actually provides.
+	CongestionMedian float64
+	// CoreCongestionSigma is the log-sigma of the per-path wide-area
+	// congestion factor.
+	CoreCongestionSigma float64
+	// AccessCongestionSigma is the log-sigma of the per-endpoint factor
+	// scaling that endpoint's access delay (line quality spread).
+	AccessCongestionSigma float64
+	// BadPathProb is the probability a path is pathologically routed or
+	// persistently congested; such paths draw an extra multiplier in
+	// [BadPathMin, BadPathMax]. This is the heavy tail that produces the
+	// paper's >300 ms direct paths and its 660 ms outlier improvement.
+	BadPathProb float64
+	BadPathMin  float64
+	BadPathMax  float64
+
+	// DiurnalAmpMax bounds the per-path diurnal amplitude (fractional RTT
+	// increase at the evening peak in the path midpoint's timezone).
+	DiurnalAmpMax float64
+
+	// JitterSigma is the log-sigma of per-ping multiplicative jitter.
+	JitterSigma float64
+	// SpikeProb is the per-ping probability of a queueing spike, which
+	// adds a Pareto(SpikeMin, SpikeAlpha) delay capped at SpikeCap.
+	SpikeProb  float64
+	SpikeMin   time.Duration
+	SpikeAlpha float64
+	SpikeCap   time.Duration
+	// LossProb is the per-ping probability of no reply.
+	LossProb float64
+
+	// AsymmetrySigma scales the direction-dependent RTT offset: the paper
+	// found ping direction changes the RTT by <5% in ~80% of pairs.
+	AsymmetrySigma float64
+}
+
+// DefaultParams returns the calibrated model constants.
+func DefaultParams() Params {
+	return Params{
+		RouteDirectness:       1.55,
+		PerASHop:              50 * time.Microsecond,
+		PerCityHop:            30 * time.Microsecond,
+		CongestionMedian:      1.08,
+		CoreCongestionSigma:   0.025,
+		AccessCongestionSigma: 0.35,
+		BadPathProb:           0.06,
+		BadPathMin:            1.35,
+		BadPathMax:            2.4,
+		DiurnalAmpMax:         0.05,
+		JitterSigma:           0.015,
+		SpikeProb:             0.02,
+		SpikeMin:              15 * time.Millisecond,
+		SpikeAlpha:            1.3,
+		SpikeCap:              400 * time.Millisecond,
+		LossProb:              0.03,
+		AsymmetrySigma:        0.02,
+	}
+}

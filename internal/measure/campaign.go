@@ -1,0 +1,370 @@
+// Package measure executes the paper's measurement campaign (Section
+// 2.5) over a synthetic world: every 12 hours it samples endpoints at
+// eyeballs, measures direct paths pairwise, selects feasible relays per
+// pair, measures endpoint-relay legs, and stitches single-relay overlay
+// paths — all with 6 pings per pair per 30-minute window and
+// median-of-at-least-3 validity, under the Atlas credit budget.
+package measure
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"shortcuts/internal/atlas"
+	"shortcuts/internal/geo"
+	"shortcuts/internal/latency"
+	"shortcuts/internal/relays"
+	"shortcuts/internal/rng"
+	"shortcuts/internal/sim"
+)
+
+// Run executes the campaign.
+func Run(w *sim.World, cfg Config) (*Results, error) {
+	if cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("measure: Rounds must be positive")
+	}
+	if cfg.PingsPerPair < cfg.MinValidPings {
+		return nil, fmt.Errorf("measure: PingsPerPair (%d) below MinValidPings (%d)",
+			cfg.PingsPerPair, cfg.MinValidPings)
+	}
+	c := &campaign{
+		w:      w,
+		cfg:    cfg,
+		g:      rng.New(w.Params.Seed).Split("campaign"),
+		ledger: atlas.NewLedger(cfg.DailyCreditLimit),
+		dists:  cityDistances(w),
+	}
+	res := &Results{Config: cfg, World: w}
+	for round := 0; round < cfg.Rounds; round++ {
+		info, obs, err := c.runRound(round)
+		if err != nil {
+			return nil, fmt.Errorf("measure: round %d: %w", round, err)
+		}
+		res.Rounds = append(res.Rounds, info)
+		res.Observations = append(res.Observations, obs...)
+		res.TotalPings += info.PingsSent
+		res.PairsAttempted += c.pairsAttempted
+	}
+	return res, nil
+}
+
+type campaign struct {
+	w      *sim.World
+	cfg    Config
+	g      *rng.Rand
+	ledger *atlas.Ledger
+	dists  [][]float64 // city-city great-circle km
+
+	pairsAttempted int // per round, read back by Run
+}
+
+// cityDistances precomputes the distance matrix used by the feasibility
+// filter; probes and relays are geolocated at city granularity.
+func cityDistances(w *sim.World) [][]float64 {
+	n := len(w.Topo.Cities)
+	m := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		m[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := geo.Distance(w.Topo.Cities[i].Loc, w.Topo.Cities[j].Loc)
+			m[i][j], m[j][i] = d, d
+		}
+	}
+	return m
+}
+
+// legKey identifies one endpoint-relay leg within a round.
+type legKey struct {
+	probe atlas.ProbeID
+	relay int
+}
+
+func (c *campaign) runRound(round int) (RoundInfo, []Observation, error) {
+	start := c.cfg.Start.Add(time.Duration(round) * c.cfg.RoundInterval)
+	info := RoundInfo{Round: round, Start: start}
+
+	// Step 1: endpoint selection.
+	endpoints := c.w.Selector.SampleEndpoints(c.g, round)
+	info.Endpoints = len(endpoints)
+	exclude := make(map[atlas.ProbeID]bool, len(endpoints))
+	for _, p := range endpoints {
+		exclude[p.ID] = true
+	}
+
+	// Step 3 (selection half): relay sampling. Sampled before leg
+	// measurement so feasibility can prune the leg set.
+	relaySet := c.w.Sampler.SampleRound(c.g, round, exclude)
+	var roundRelays []int
+	for t := 0; t < relays.NumTypes; t++ {
+		info.RelayCounts[t] = len(relaySet.ByType[t])
+		roundRelays = append(roundRelays, relaySet.ByType[t]...)
+	}
+	sort.Ints(roundRelays)
+
+	// Mid-window outages: probes were selected as responsive, but some
+	// stop answering during the 30-minute window. Pairs (and legs)
+	// touching such probes yield no valid medians this round.
+	windowUp := make([]bool, len(endpoints))
+	for i, p := range endpoints {
+		windowUp[i] = c.w.Atlas.WindowUp(p.ID, round)
+	}
+	relayUp := make(map[int]bool, len(roundRelays))
+	for _, ri := range roundRelays {
+		r := &c.w.Catalog.Relays[ri]
+		// RAR relays are probes with the same outage process; COR router
+		// interfaces and PLR nodes were liveness-checked at sampling.
+		relayUp[ri] = r.ProbeID == 0 || c.w.Atlas.WindowUp(r.ProbeID, round)
+	}
+
+	// Step 2: direct paths, both directions.
+	type pairIdx struct{ i, j int }
+	var pairs []pairIdx
+	for i := 0; i < len(endpoints); i++ {
+		for j := i + 1; j < len(endpoints); j++ {
+			pairs = append(pairs, pairIdx{i, j})
+		}
+	}
+	c.pairsAttempted = len(pairs)
+
+	fwd := make([]float32, len(pairs))
+	rev := make([]float32, len(pairs))
+	var pings int64
+	var pingsMu sync.Mutex
+	err := c.parallel(len(pairs), func(k int) error {
+		if !windowUp[pairs[k].i] || !windowUp[pairs[k].j] {
+			pingsMu.Lock()
+			pings += int64(2 * c.cfg.PingsPerPair) // pings sent, unanswered
+			pingsMu.Unlock()
+			return nil
+		}
+		a, b := endpoints[pairs[k].i], endpoints[pairs[k].j]
+		mf, nf, err := c.medianRTT(a.Endpoint(), b.Endpoint(), round, start)
+		if err != nil {
+			return err
+		}
+		mr, nr, err := c.medianRTT(b.Endpoint(), a.Endpoint(), round, start)
+		if err != nil {
+			return err
+		}
+		fwd[k], rev[k] = mf, mr
+		pingsMu.Lock()
+		pings += int64(nf + nr)
+		pingsMu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return info, nil, err
+	}
+
+	// Step 3 (feasibility half): relays worth measuring per pair, and the
+	// union of endpoint-relay legs needed.
+	feasible := make([][]int, len(pairs)) // relay catalog indices per pair
+	neededLegs := make(map[legKey]bool)
+	for k, p := range pairs {
+		if fwd[k] == 0 {
+			continue // unresponsive pair: no relay measurements either
+		}
+		a, b := endpoints[p.i], endpoints[p.j]
+		directRTT := time.Duration(float64(fwd[k]) * float64(time.Millisecond))
+		for _, ri := range roundRelays {
+			r := &c.w.Catalog.Relays[ri]
+			if c.feasible(a.City, r.City, b.City, directRTT) {
+				feasible[k] = append(feasible[k], ri)
+				if relayUp[ri] {
+					neededLegs[legKey{a.ID, ri}] = true
+					neededLegs[legKey{b.ID, ri}] = true
+				}
+			}
+		}
+	}
+
+	// Step 4 (legs): measure each needed endpoint-relay pair once.
+	legKeys := make([]legKey, 0, len(neededLegs))
+	for k := range neededLegs {
+		legKeys = append(legKeys, k)
+	}
+	sort.Slice(legKeys, func(i, j int) bool {
+		if legKeys[i].probe != legKeys[j].probe {
+			return legKeys[i].probe < legKeys[j].probe
+		}
+		return legKeys[i].relay < legKeys[j].relay
+	})
+	epByID := make(map[atlas.ProbeID]*atlas.Probe, len(endpoints))
+	for _, p := range endpoints {
+		epByID[p.ID] = p
+	}
+	legVals := make([]float32, len(legKeys))
+	err = c.parallel(len(legKeys), func(k int) error {
+		lk := legKeys[k]
+		probe := epByID[lk.probe]
+		relay := &c.w.Catalog.Relays[lk.relay]
+		m, n, err := c.medianRTT(probe.Endpoint(), relay.Endpoint, round, start)
+		if err != nil {
+			return err
+		}
+		legVals[k] = m
+		pingsMu.Lock()
+		pings += int64(n)
+		pingsMu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return info, nil, err
+	}
+	legs := make(map[legKey]float32, len(legKeys))
+	for k, lk := range legKeys {
+		legs[lk] = legVals[k]
+	}
+
+	// Credits: all pings of this round land on its calendar day.
+	day := int(start.Sub(c.cfg.Start).Hours() / 24)
+	if err := c.ledger.Spend(day, pings*atlas.PingCost); err != nil {
+		return info, nil, err
+	}
+	info.PingsSent = pings
+
+	// Step 4 (stitching): build observations.
+	obs := make([]Observation, 0, len(pairs))
+	for k, p := range pairs {
+		if fwd[k] == 0 {
+			continue
+		}
+		a, b := endpoints[p.i], endpoints[p.j]
+		o := Observation{
+			Round:    round,
+			SrcProbe: a.ID, DstProbe: b.ID,
+			SrcAS: a.AS, DstAS: b.AS,
+			SrcCC: a.CC, DstCC: b.CC,
+			SrcCont: c.continentOf(a), DstCont: c.continentOf(b),
+			DirectMs: fwd[k], RevDirectMs: rev[k],
+		}
+		for t := 0; t < relays.NumTypes; t++ {
+			o.BestRelay[t] = -1
+		}
+		for _, ri := range feasible[k] {
+			r := &c.w.Catalog.Relays[ri]
+			o.FeasibleCount[r.Type]++
+			if !relayUp[ri] {
+				continue
+			}
+			la, okA := legs[legKey{a.ID, ri}]
+			lb, okB := legs[legKey{b.ID, ri}]
+			if !okA || !okB || la == 0 || lb == 0 {
+				continue // a leg had too few valid replies
+			}
+			stitched := la + lb
+			t := r.Type
+			if o.BestRelay[t] == -1 || stitched < o.BestMs[t] {
+				o.BestMs[t] = stitched
+				o.BestRelay[t] = int32(ri)
+			}
+			if stitched < o.DirectMs {
+				o.Improving = append(o.Improving, ImproveEntry{Relay: uint16(ri), RelayedMs: stitched})
+			}
+		}
+		obs = append(obs, o)
+		info.PairsUsable++
+	}
+	return info, obs, nil
+}
+
+// feasible applies the Section-2.4 speed-of-light filter using the
+// precomputed city distance matrix. With the ablation switch on, every
+// relay is considered feasible.
+func (c *campaign) feasible(srcCity, relayCity, dstCity int, directRTT time.Duration) bool {
+	if c.cfg.DisableFeasibilityFilter {
+		return true
+	}
+	ideal := 2 * (geo.PropDelay(c.dists[srcCity][relayCity]) + geo.PropDelay(c.dists[relayCity][dstCity]))
+	return ideal <= directRTT
+}
+
+func (c *campaign) continentOf(p *atlas.Probe) string {
+	return c.w.Topo.Cities[p.City].Continent
+}
+
+// medianRTT sends the round's ping train from a to b and returns the
+// median in milliseconds (0 when fewer than MinValidPings replies
+// arrived) plus the number of pings sent.
+func (c *campaign) medianRTT(a, b latency.Endpoint, round int, windowStart time.Time) (float32, int, error) {
+	vals := make([]float64, 0, c.cfg.PingsPerPair)
+	for slot := 0; slot < c.cfg.PingsPerPair; slot++ {
+		at := windowStart.Add(time.Duration(slot) * c.cfg.PingInterval)
+		rtt, ok, err := c.w.Engine.Ping(a, b, round, slot, at)
+		if err != nil {
+			return 0, 0, err
+		}
+		if ok {
+			vals = append(vals, float64(rtt)/float64(time.Millisecond))
+		}
+	}
+	if len(vals) < c.cfg.MinValidPings {
+		return 0, c.cfg.PingsPerPair, nil
+	}
+	sort.Float64s(vals)
+	mid := len(vals) / 2
+	var med float64
+	if len(vals)%2 == 1 {
+		med = vals[mid]
+	} else {
+		med = (vals[mid-1] + vals[mid]) / 2
+	}
+	return float32(med), c.cfg.PingsPerPair, nil
+}
+
+// parallel runs fn over [0, n) with the configured worker count,
+// propagating the first error.
+func (c *campaign) parallel(n int, fn func(int) error) error {
+	workers := c.cfg.Concurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		next  int
+		first error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if first != nil || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}

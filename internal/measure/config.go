@@ -1,0 +1,57 @@
+package measure
+
+import "time"
+
+// Config sets the campaign schedule of Section 2.5.
+type Config struct {
+	// Rounds is the number of measurement rounds (the paper ran 45).
+	Rounds int
+	// RoundInterval separates round starts (12 h, to catch diurnal
+	// patterns).
+	RoundInterval time.Duration
+	// Window is the measurement window per round (30 min: long enough to
+	// absorb RTT variability, short enough to stay correlated).
+	Window time.Duration
+	// PingsPerPair is the number of pings per node pair per round (6).
+	PingsPerPair int
+	// PingInterval separates consecutive pings to a pair (5 min).
+	PingInterval time.Duration
+	// MinValidPings is the minimum number of replies for a median to
+	// count (3).
+	MinValidPings int
+	// Start is the campaign start (the paper ran 20 Apr - 17 May 2017).
+	Start time.Time
+	// Concurrency bounds the worker pool; <= 0 means GOMAXPROCS.
+	Concurrency int
+	// DailyCreditLimit is the RIPE Atlas credit budget per day; the
+	// campaign fails if a round would exceed it. <= 0 disables.
+	DailyCreditLimit int64
+	// DisableFeasibilityFilter skips the Section-2.4 speed-of-light
+	// relay pre-filter and measures every sampled relay against every
+	// pair. This is an ablation switch: results must be unchanged (the
+	// filter only removes relays that cannot win) while measurement cost
+	// rises sharply.
+	DisableFeasibilityFilter bool
+}
+
+// DefaultConfig returns the paper's campaign schedule.
+func DefaultConfig() Config {
+	return Config{
+		Rounds:           45,
+		RoundInterval:    12 * time.Hour,
+		Window:           30 * time.Minute,
+		PingsPerPair:     6,
+		PingInterval:     5 * time.Minute,
+		MinValidPings:    3,
+		Start:            time.Date(2017, 4, 20, 0, 0, 0, 0, time.UTC),
+		DailyCreditLimit: 4_000_000,
+	}
+}
+
+// QuickConfig returns a short campaign for tests and examples: the same
+// per-round mechanics over fewer rounds.
+func QuickConfig(rounds int) Config {
+	c := DefaultConfig()
+	c.Rounds = rounds
+	return c
+}

@@ -1,0 +1,154 @@
+// Package periscope simulates the Periscope looking-glass federation
+// (Giotsas et al., PAM 2016) that the paper uses for RTT-based city-level
+// geolocation of candidate colo IPs (Section 2.2). Looking glasses are
+// router vantage points scattered across cities; for each candidate IP
+// the pipeline asks every LG in the *claimed* city for the last-hop RTT
+// and keeps the minimum. An IP passes only if measurements exist and the
+// minimum RTT is at most 1 ms — light can travel ~100 km in that time, so
+// a pass places the IP in the city.
+package periscope
+
+import (
+	"time"
+
+	"shortcuts/internal/latency"
+	"shortcuts/internal/rng"
+	"shortcuts/internal/topology"
+)
+
+// RTTThreshold is the paper's geolocation acceptance bound.
+const RTTThreshold = time.Millisecond
+
+// LG is one looking glass.
+type LG struct {
+	ID     int
+	AS     topology.ASN
+	City   int
+	Access time.Duration
+}
+
+// Endpoint returns the LG's measurement attachment point.
+func (l *LG) Endpoint() latency.Endpoint {
+	return latency.Endpoint{AS: l.AS, City: l.City, Access: l.Access}
+}
+
+// Params controls LG deployment.
+type Params struct {
+	// Coverage probabilities by city class.
+	TopHubProb                   float64 // hub rank 1-12
+	HubProb                      float64 // hub rank 13+
+	NonHubProb                   float64 // cities without hub status
+	LGsPerCityMin, LGsPerCityMax int
+}
+
+// DefaultParams approximates Periscope's 2017 footprint shape: dense at
+// major hubs, spotty elsewhere. Absolute counts are scaled to the
+// synthetic world.
+func DefaultParams() Params {
+	return Params{
+		TopHubProb:    1.0,
+		HubProb:       0.55,
+		NonHubProb:    0.30,
+		LGsPerCityMin: 1,
+		LGsPerCityMax: 5,
+	}
+}
+
+// Service answers geolocation queries through the latency engine.
+type Service struct {
+	engine *latency.Engine
+	lgs    []*LG
+	byCity map[int][]*LG
+}
+
+// Generate deploys looking glasses over the topology and binds them to
+// the engine.
+func Generate(g *rng.Rand, topo *topology.Topology, engine *latency.Engine, p Params) *Service {
+	g = g.Split("periscope")
+	s := &Service{engine: engine, byCity: make(map[int][]*LG)}
+	id := 0
+	for city, c := range topo.Cities {
+		prob := p.NonHubProb
+		switch {
+		case c.HubRank > 0 && c.HubRank <= 12:
+			prob = p.TopHubProb
+		case c.HubRank > 0:
+			prob = p.HubProb
+		}
+		if !g.Bool(prob) {
+			continue
+		}
+		// LGs belong to networks with a PoP in the city; prefer transit
+		// and tier-1 routers, which is who operates public LGs.
+		hosts := lgHosts(topo, city)
+		if len(hosts) == 0 {
+			continue
+		}
+		n := g.IntBetween(p.LGsPerCityMin, p.LGsPerCityMax)
+		for i := 0; i < n; i++ {
+			host := hosts[g.Intn(len(hosts))]
+			s.add(&LG{
+				ID:     id,
+				AS:     host,
+				City:   city,
+				Access: time.Duration(g.IntBetween(100, 400)) * time.Microsecond,
+			})
+			id++
+		}
+	}
+	return s
+}
+
+func lgHosts(topo *topology.Topology, city int) []topology.ASN {
+	var out []topology.ASN
+	for _, a := range topo.ASes {
+		if (a.Type == topology.Tier1 || a.Type == topology.Transit) && a.HasPoP(city) {
+			out = append(out, a.ASN)
+		}
+	}
+	return out
+}
+
+func (s *Service) add(lg *LG) {
+	s.lgs = append(s.lgs, lg)
+	s.byCity[lg.City] = append(s.byCity[lg.City], lg)
+}
+
+// LGs returns all looking glasses.
+func (s *Service) LGs() []*LG { return s.lgs }
+
+// CityCovered reports whether any LG exists in the city.
+func (s *Service) CityCovered(city int) bool { return len(s.byCity[city]) > 0 }
+
+// MinRTTFromCity measures the last-hop RTT from every LG in the given
+// city toward the target and returns the minimum. ok is false when the
+// city has no looking glasses (no measurements available — the paper
+// discards such candidates).
+func (s *Service) MinRTTFromCity(city int, target latency.Endpoint) (time.Duration, bool, error) {
+	lgs := s.byCity[city]
+	if len(lgs) == 0 {
+		return 0, false, nil
+	}
+	var best time.Duration
+	for i, lg := range lgs {
+		rtt, err := s.engine.BaseRTT(lg.Endpoint(), target)
+		if err != nil {
+			return 0, false, err
+		}
+		if i == 0 || rtt < best {
+			best = rtt
+		}
+	}
+	return best, true, nil
+}
+
+// GeolocateAtCity runs the paper's acceptance test: measurements must be
+// available from the claimed city and the minimum RTT must not exceed
+// RTTThreshold.
+func (s *Service) GeolocateAtCity(city int, target latency.Endpoint) (bool, error) {
+	rtt, ok, err := s.MinRTTFromCity(city, target)
+	if err != nil || !ok {
+		return false, err
+	}
+	return rtt <= RTTThreshold, nil
+}

@@ -1,0 +1,157 @@
+package relays
+
+import (
+	"sort"
+
+	"shortcuts/internal/atlas"
+	"shortcuts/internal/planetlab"
+	"shortcuts/internal/rng"
+	"shortcuts/internal/topology"
+)
+
+// SampleParams are the per-round sampling quotas of Sections 2.2-2.3.
+type SampleParams struct {
+	CORPerFacilityMin, CORPerFacilityMax int // 1-3 IPs per facility
+	PLRPerSiteMin, PLRPerSiteMax         int // 1-2 nodes per site
+}
+
+// DefaultSampleParams returns the paper's quotas.
+func DefaultSampleParams() SampleParams {
+	return SampleParams{
+		CORPerFacilityMin: 1, CORPerFacilityMax: 3,
+		PLRPerSiteMin: 1, PLRPerSiteMax: 2,
+	}
+}
+
+// Sampler draws per-round relay subsets from a catalog.
+type Sampler struct {
+	catalog   *Catalog
+	atlas     *atlas.Platform
+	planetlab *planetlab.Registry
+	params    SampleParams
+}
+
+// NewSampler creates a sampler bound to the liveness sources.
+func NewSampler(c *Catalog, a *atlas.Platform, p *planetlab.Registry, sp SampleParams) *Sampler {
+	return &Sampler{catalog: c, atlas: a, planetlab: p, params: sp}
+}
+
+// RoundSet is the relay selection for one measurement round, as catalog
+// indices per type.
+type RoundSet struct {
+	ByType [NumTypes][]int
+}
+
+// Total returns the number of selected relays across types.
+func (rs *RoundSet) Total() int {
+	n := 0
+	for _, s := range rs.ByType {
+		n += len(s)
+	}
+	return n
+}
+
+// SampleRound draws the round's relays:
+//
+//   - COR: 1-3 verified IPs per facility (covers every facility while
+//     accounting for intra-facility variance);
+//   - PLR: 1-2 usable nodes per accessible site;
+//   - RAR_eye: one eligible, responsive probe from one eyeball AS per
+//     country, excluding probes already used as endpoints this round;
+//   - RAR_other: one responsive probe per country from other networks.
+func (s *Sampler) SampleRound(g *rng.Rand, round int, excludeProbes map[atlas.ProbeID]bool) *RoundSet {
+	g = g.SplitN("relay-sample", round)
+	rs := &RoundSet{}
+
+	// COR.
+	for _, pdb := range sortedIntKeys(s.catalog.corByFacility) {
+		idxs := s.catalog.corByFacility[pdb]
+		want := g.IntBetween(s.params.CORPerFacilityMin, s.params.CORPerFacilityMax)
+		for _, k := range g.SampleInts(len(idxs), want) {
+			rs.ByType[COR] = append(rs.ByType[COR], idxs[k])
+		}
+	}
+
+	// PLR: only nodes usable this round.
+	for _, site := range sortedStrKeys(s.catalog.plrBySite) {
+		var usable []int
+		for _, idx := range s.catalog.plrBySite[site] {
+			if s.planetlab.Usable(s.catalog.Relays[idx].NodeID, round) {
+				usable = append(usable, idx)
+			}
+		}
+		if len(usable) == 0 {
+			continue
+		}
+		want := g.IntBetween(s.params.PLRPerSiteMin, s.params.PLRPerSiteMax)
+		for _, k := range g.SampleInts(len(usable), want) {
+			rs.ByType[PLR] = append(rs.ByType[PLR], usable[k])
+		}
+	}
+
+	// RAR_eye: country -> AS -> probe.
+	for _, cc := range sortedStrKeys2(s.catalog.eyeByCountry) {
+		perAS := s.catalog.eyeByCountry[cc]
+		asns := make([]topology.ASN, 0, len(perAS))
+		for asn := range perAS {
+			asns = append(asns, asn)
+		}
+		sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+		// Try ASes in random order until one yields a live, non-endpoint
+		// probe.
+		for _, ai := range g.Perm(len(asns)) {
+			if idx, ok := s.pickLiveProbe(g, perAS[asns[ai]], round, excludeProbes); ok {
+				rs.ByType[RAREye] = append(rs.ByType[RAREye], idx)
+				break
+			}
+		}
+	}
+
+	// RAR_other: one probe per country.
+	for _, cc := range sortedStrKeys(s.catalog.otherByCC) {
+		if idx, ok := s.pickLiveProbe(g, s.catalog.otherByCC[cc], round, excludeProbes); ok {
+			rs.ByType[RAROther] = append(rs.ByType[RAROther], idx)
+		}
+	}
+	return rs
+}
+
+func (s *Sampler) pickLiveProbe(g *rng.Rand, idxs []int, round int, exclude map[atlas.ProbeID]bool) (int, bool) {
+	for _, k := range g.Perm(len(idxs)) {
+		r := s.catalog.Relays[idxs[k]]
+		if exclude[r.ProbeID] {
+			continue
+		}
+		if s.atlas.Responsive(r.ProbeID, round) {
+			return idxs[k], true
+		}
+	}
+	return 0, false
+}
+
+func sortedIntKeys(m map[int][]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortedStrKeys(m map[string][]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedStrKeys2(m map[string]map[topology.ASN][]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,184 @@
+// Package rng provides deterministic, splittable random number generation
+// for the synthetic Internet substrate. Every stochastic component of the
+// simulation draws from a Rand derived from a single campaign seed, so that
+// a given seed reproduces a campaign bit-for-bit. Sub-generators are split
+// off by label, which keeps independent subsystems (topology generation,
+// per-round sampling, per-ping noise) decoupled: adding draws to one does
+// not perturb another.
+package rng
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Rand is a deterministic random source. It wraps math/rand.Rand with the
+// distribution helpers the simulator needs and with label-based splitting.
+type Rand struct {
+	seed int64
+	r    *rand.Rand
+}
+
+// New returns a Rand seeded with the given seed.
+func New(seed int64) *Rand {
+	return &Rand{seed: seed, r: rand.New(rand.NewSource(seed))}
+}
+
+// Seed returns the seed this Rand was created with.
+func (g *Rand) Seed() int64 { return g.seed }
+
+// Split derives an independent generator identified by label. Splitting is
+// a pure function of (seed, label): the same pair always yields the same
+// stream, regardless of how much the parent has been consumed.
+func (g *Rand) Split(label string) *Rand {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(g.seed) >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(label))
+	return New(int64(h.Sum64()))
+}
+
+// SplitN derives an independent generator identified by a label and an
+// integer, convenient for per-round or per-entity streams.
+func (g *Rand) SplitN(label string, n int) *Rand {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(g.seed) >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(label))
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(n) >> (8 * i))
+	}
+	h.Write(buf[:])
+	return New(int64(h.Sum64()))
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (g *Rand) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform draw in [0, n). It panics if n <= 0.
+func (g *Rand) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative 63-bit integer.
+func (g *Rand) Int63() int64 { return g.r.Int63() }
+
+// Uint32 returns a uniform 32-bit value.
+func (g *Rand) Uint32() uint32 { return g.r.Uint32() }
+
+// Perm returns a random permutation of [0, n).
+func (g *Rand) Perm(n int) []int { return g.r.Perm(n) }
+
+// Bool returns true with probability p.
+func (g *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return g.r.Float64() < p
+}
+
+// Uniform returns a uniform draw in [lo, hi). If hi <= lo it returns lo.
+func (g *Rand) Uniform(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + g.r.Float64()*(hi-lo)
+}
+
+// IntBetween returns a uniform integer in [lo, hi] inclusive. If hi < lo it
+// returns lo.
+func (g *Rand) IntBetween(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + g.r.Intn(hi-lo+1)
+}
+
+// Normal returns a normal draw with the given mean and standard deviation.
+func (g *Rand) Normal(mean, stddev float64) float64 {
+	return mean + stddev*g.r.NormFloat64()
+}
+
+// LogNormal returns a log-normal draw where the underlying normal has the
+// given mu and sigma. Used for multiplicative latency jitter: the
+// distribution is right-skewed like real queueing delay.
+func (g *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*g.r.NormFloat64())
+}
+
+// Pareto returns a draw from a Pareto distribution with the given minimum
+// value and shape alpha. Heavy-tailed; used for outlier latency spikes and
+// for skewed population sizes. Panics if alpha <= 0 or min <= 0.
+func (g *Rand) Pareto(min, alpha float64) float64 {
+	if alpha <= 0 || min <= 0 {
+		panic("rng: Pareto requires positive min and alpha")
+	}
+	u := g.r.Float64()
+	for u == 0 {
+		u = g.r.Float64()
+	}
+	return min / math.Pow(u, 1/alpha)
+}
+
+// Exp returns an exponential draw with the given mean.
+func (g *Rand) Exp(mean float64) float64 {
+	return g.r.ExpFloat64() * mean
+}
+
+// Choice returns a uniform random index into a collection of size n, or -1
+// if n <= 0.
+func (g *Rand) Choice(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	return g.r.Intn(n)
+}
+
+// SampleInts returns k distinct integers drawn uniformly from [0, n). If
+// k >= n it returns all of [0, n) in random order.
+func (g *Rand) SampleInts(n, k int) []int {
+	if n <= 0 || k <= 0 {
+		return nil
+	}
+	p := g.r.Perm(n)
+	if k > n {
+		k = n
+	}
+	return p[:k]
+}
+
+// WeightedChoice returns an index drawn proportionally to the given
+// non-negative weights, or -1 if weights is empty or sums to zero.
+func (g *Rand) WeightedChoice(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return -1
+	}
+	x := g.r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Shuffle pseudo-randomly permutes the order of n elements using swap.
+func (g *Rand) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }

@@ -1,0 +1,121 @@
+// Package sim composes the full synthetic world: the APNIC dataset, the
+// AS topology, BGP routing, the latency engine, the PeeringDB registry,
+// the prefix-to-AS table, the stale facility-mapping snapshot, Periscope,
+// the RIPE Atlas fleet, PlanetLab, the relay catalog and the endpoint
+// selector. One seed builds one world, bit-for-bit reproducibly.
+package sim
+
+import (
+	"fmt"
+
+	"shortcuts/internal/atlas"
+	"shortcuts/internal/bgp"
+	"shortcuts/internal/datasets/apnic"
+	"shortcuts/internal/datasets/facmap"
+	"shortcuts/internal/datasets/peeringdb"
+	"shortcuts/internal/datasets/prefix2as"
+	"shortcuts/internal/eyeball"
+	"shortcuts/internal/latency"
+	"shortcuts/internal/periscope"
+	"shortcuts/internal/planetlab"
+	"shortcuts/internal/relays"
+	"shortcuts/internal/rng"
+	"shortcuts/internal/topology"
+	"shortcuts/internal/worlddata"
+)
+
+// WorldParams configures every subsystem.
+type WorldParams struct {
+	Seed          int64
+	Topology      topology.GenParams
+	Latency       latency.Params
+	Atlas         atlas.Params
+	PlanetLab     planetlab.Params
+	Periscope     periscope.Params
+	FacMap        facmap.Params
+	Prefix2AS     prefix2as.Params
+	Sampling      relays.SampleParams
+	EyeballCutoff float64
+}
+
+// DefaultWorldParams returns the full-scale world matching the paper's
+// campaign dimensions.
+func DefaultWorldParams(seed int64) WorldParams {
+	return WorldParams{
+		Seed:          seed,
+		Topology:      topology.DefaultParams(),
+		Latency:       latency.DefaultParams(),
+		Atlas:         atlas.DefaultParams(),
+		PlanetLab:     planetlab.DefaultParams(),
+		Periscope:     periscope.DefaultParams(),
+		FacMap:        facmap.DefaultParams(),
+		Prefix2AS:     prefix2as.DefaultParams(),
+		Sampling:      relays.DefaultSampleParams(),
+		EyeballCutoff: eyeball.Cutoff,
+	}
+}
+
+// SmallWorldParams returns a reduced world for fast tests and examples.
+func SmallWorldParams(seed int64) WorldParams {
+	p := DefaultWorldParams(seed)
+	p.Topology = topology.SmallParams()
+	p.FacMap.NumRecords = 700
+	return p
+}
+
+// World is the composed simulation.
+type World struct {
+	Params    WorldParams
+	Apnic     *apnic.Dataset
+	Topo      *topology.Topology
+	Router    *bgp.Router
+	Engine    *latency.Engine
+	Registry  *peeringdb.Registry
+	Prefixes  *prefix2as.Table
+	FacMap    *facmap.Dataset
+	Periscope *periscope.Service
+	Atlas     *atlas.Platform
+	PlanetLab *planetlab.Registry
+	Catalog   *relays.Catalog
+	Sampler   *relays.Sampler
+	Selector  *eyeball.Selector
+}
+
+// Build constructs the world.
+func Build(p WorldParams) (*World, error) {
+	g := rng.New(p.Seed)
+	w := &World{Params: p}
+
+	w.Apnic = apnic.Generate(g.Split("apnic"), apnic.DefaultParams(worlddata.CountryCodes()))
+
+	topo, err := topology.Generate(g, p.Topology, w.Apnic)
+	if err != nil {
+		return nil, fmt.Errorf("sim: topology: %w", err)
+	}
+	w.Topo = topo
+	w.Router = bgp.New(topo)
+	w.Engine = latency.New(w.Router, p.Latency, g)
+	w.Registry = peeringdb.New(topo)
+	w.Prefixes = prefix2as.Generate(g, topo, p.Prefix2AS)
+	w.FacMap = facmap.Generate(g, topo, w.Prefixes, p.FacMap)
+	w.Periscope = periscope.Generate(g, topo, w.Engine, p.Periscope)
+	w.Atlas = atlas.Generate(g, topo, p.Atlas)
+	w.PlanetLab = planetlab.Generate(g, topo, p.PlanetLab)
+	w.Selector = eyeball.New(w.Apnic, w.Atlas, p.EyeballCutoff)
+
+	w.Catalog, err = relays.BuildCatalog(g, relays.Deps{
+		Topo:      topo,
+		Registry:  w.Registry,
+		FacMap:    w.FacMap,
+		Prefixes:  w.Prefixes,
+		Periscope: w.Periscope,
+		Atlas:     w.Atlas,
+		PlanetLab: w.PlanetLab,
+		IsEyeball: w.Selector.IsEyeball,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: relay catalog: %w", err)
+	}
+	w.Sampler = relays.NewSampler(w.Catalog, w.Atlas, w.PlanetLab, p.Sampling)
+	return w, nil
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+
+	"shortcuts/internal/relays"
+)
+
+func TestBuildDefaultWorld(t *testing.T) {
+	w, err := Build(DefaultWorldParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Topo == nil || w.Router == nil || w.Engine == nil || w.Catalog == nil {
+		t.Fatal("world has nil components")
+	}
+	if len(w.Catalog.OfType(relays.COR)) == 0 {
+		t.Fatal("no COR relays survived the pipeline")
+	}
+	if len(w.Catalog.OfType(relays.PLR)) == 0 {
+		t.Fatal("no PLR relays")
+	}
+	if len(w.Catalog.OfType(relays.RAREye)) == 0 {
+		t.Fatal("no RAR_eye relays")
+	}
+	if len(w.Catalog.OfType(relays.RAROther)) == 0 {
+		t.Fatal("no RAR_other relays")
+	}
+	if len(w.Selector.Countries()) < 50 {
+		t.Fatalf("only %d endpoint countries", len(w.Selector.Countries()))
+	}
+}
+
+func TestBuildSmallWorld(t *testing.T) {
+	w, err := Build(SmallWorldParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Catalog.Relays) == 0 {
+		t.Fatal("empty catalog")
+	}
+}
+
+func TestWorldDeterministic(t *testing.T) {
+	a, err := Build(SmallWorldParams(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(SmallWorldParams(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Catalog.Relays) != len(b.Catalog.Relays) {
+		t.Fatalf("catalog sizes differ: %d vs %d", len(a.Catalog.Relays), len(b.Catalog.Relays))
+	}
+	for i := range a.Catalog.Relays {
+		if a.Catalog.Relays[i].ID != b.Catalog.Relays[i].ID {
+			t.Fatalf("relay %d differs: %s vs %s", i, a.Catalog.Relays[i].ID, b.Catalog.Relays[i].ID)
+		}
+	}
+	if a.Catalog.Funnel != b.Catalog.Funnel {
+		t.Fatalf("funnels differ: %+v vs %+v", a.Catalog.Funnel, b.Catalog.Funnel)
+	}
+}

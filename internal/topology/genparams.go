@@ -1,0 +1,108 @@
+package topology
+
+import "shortcuts/internal/worlddata"
+
+// GenParams controls topology generation. The defaults are calibrated so
+// that the campaign reproduces the shapes of the paper's Figures 2-4 (see
+// DESIGN.md section 5 for the reasoning behind each lever).
+type GenParams struct {
+	// NumTier1 is the size of the transit-free clique.
+	NumTier1 int
+	// TransitPerContinent sets the number of regional transit providers.
+	TransitPerContinent map[string]int
+	// NumContent is the number of content/cloud networks.
+	NumContent int
+	// NumEnterprise is the number of stub enterprise networks.
+	NumEnterprise int
+	// EyeballCutoff is the minimum APNIC coverage (percent) for an AS to
+	// be instantiated as an eyeball in the topology. The paper validates
+	// 10% as the eyeball threshold.
+	EyeballCutoff float64
+	// MaxEyeballsPerCountry caps eyeball instantiation per country.
+	MaxEyeballsPerCountry int
+	// NRENProbability is the chance a country gets a national research
+	// network; campuses only exist in NREN countries.
+	NRENProbability float64
+	// CampusMin/CampusMax bound campuses per NREN country.
+	CampusMin, CampusMax int
+	// NonHubFacilityCities is how many non-hub cities get one small
+	// facility (the paper's candidate pool spans 67 cities, more than the
+	// ~39 major hubs).
+	NonHubFacilityCities int
+
+	// Membership probabilities by AS type (chance an AS with a PoP in a
+	// facility's city is a member), scaled by facility size class.
+	MemberProb map[ASType]float64
+
+	// Peering probabilities.
+	TransitPeerSameCont  float64 // transit-transit, same continent, shared facility
+	TransitPeerCrossCont float64 // transit-transit, different continent, shared facility
+	ContentPeerTransit   float64 // content-transit at shared facility
+	ContentPeerTier1     float64 // content-tier1 at shared facility
+	ContentPeerEyeball   float64 // content-eyeball at shared facility
+	EyeballPeerEyeball   float64 // eyeball-eyeball at shared facility
+	SmallTransitUpstream float64 // chance a transit also buys from a bigger transit
+}
+
+// DefaultParams returns the full-scale world matching the paper's campaign
+// dimensions (~82 endpoint countries, ~100 candidate facilities).
+func DefaultParams() GenParams {
+	return GenParams{
+		NumTier1: 12,
+		TransitPerContinent: map[string]int{
+			worlddata.Europe:       18,
+			worlddata.NorthAmerica: 14,
+			worlddata.Asia:         12,
+			worlddata.SouthAmerica: 6,
+			worlddata.Oceania:      4,
+			worlddata.Africa:       6,
+		},
+		NumContent:            36,
+		NumEnterprise:         60,
+		EyeballCutoff:         10,
+		MaxEyeballsPerCountry: 6,
+		NRENProbability:       0.65,
+		CampusMin:             1,
+		CampusMax:             3,
+		NonHubFacilityCities:  25,
+		MemberProb: map[ASType]float64{
+			Tier1:      0.85,
+			Transit:    0.70,
+			Content:    0.90,
+			Eyeball:    0.35,
+			Backbone:   0.40,
+			NREN:       0.40,
+			Campus:     0.03,
+			Enterprise: 0.08,
+		},
+		TransitPeerSameCont:  0.35,
+		TransitPeerCrossCont: 0.10,
+		ContentPeerTransit:   0.70,
+		ContentPeerTier1:     0.50,
+		ContentPeerEyeball:   0.45,
+		EyeballPeerEyeball:   0.20,
+		SmallTransitUpstream: 0.30,
+	}
+}
+
+// SmallParams returns a reduced world for fast tests and the quickstart
+// example: the same structure at roughly a quarter of the scale.
+func SmallParams() GenParams {
+	p := DefaultParams()
+	p.NumTier1 = 6
+	p.TransitPerContinent = map[string]int{
+		worlddata.Europe:       7,
+		worlddata.NorthAmerica: 5,
+		worlddata.Asia:         5,
+		worlddata.SouthAmerica: 3,
+		worlddata.Oceania:      2,
+		worlddata.Africa:       3,
+	}
+	p.NumContent = 12
+	p.NumEnterprise = 15
+	p.MaxEyeballsPerCountry = 3
+	p.NRENProbability = 0.4
+	p.CampusMax = 2
+	p.NonHubFacilityCities = 10
+	return p
+}

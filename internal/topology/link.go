@@ -1,0 +1,55 @@
+package topology
+
+import "fmt"
+
+// Rel is the business relationship on an inter-AS link.
+type Rel int
+
+const (
+	// C2P means Link.A is a customer of Link.B.
+	C2P Rel = iota
+	// P2P means Link.A and Link.B are settlement-free peers.
+	P2P
+)
+
+// String implements fmt.Stringer.
+func (r Rel) String() string {
+	switch r {
+	case C2P:
+		return "c2p"
+	case P2P:
+		return "p2p"
+	default:
+		return fmt.Sprintf("Rel(%d)", int(r))
+	}
+}
+
+// Link is an adjacency between two ASes. Cities lists the indexes of the
+// cities where the two networks interconnect (private cross-connects or
+// IXP ports); BGP path expansion picks among them hot-potato style.
+type Link struct {
+	A, B   ASN
+	Rel    Rel
+	Cities []int
+}
+
+// Other returns the far end of the link relative to asn, and whether asn
+// is actually on the link.
+func (l *Link) Other(asn ASN) (ASN, bool) {
+	switch asn {
+	case l.A:
+		return l.B, true
+	case l.B:
+		return l.A, true
+	default:
+		return 0, false
+	}
+}
+
+// linkKey returns an unordered key for the AS pair.
+func linkKey(a, b ASN) [2]ASN {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]ASN{a, b}
+}

@@ -1,0 +1,157 @@
+// Package worlddata holds the static seed data for the synthetic Internet:
+// real-world cities with coordinates, countries and continents, the
+// colocation hub ranking, the facilities of the paper's Table 1, and
+// submarine-cable landing points. Everything else in the simulation is
+// generated; this package is the fixed geography it is generated onto.
+package worlddata
+
+import "shortcuts/internal/geo"
+
+// Continent codes.
+const (
+	Europe       = "EU"
+	NorthAmerica = "NA"
+	SouthAmerica = "SA"
+	Asia         = "AS"
+	Oceania      = "OC"
+	Africa       = "AF"
+)
+
+// City is a real-world city the synthetic Internet can place PoPs,
+// facilities and vantage points in.
+type City struct {
+	Name      string
+	CC        string // ISO 3166-1 alpha-2 country code
+	Continent string
+	Loc       geo.Coord
+	// HubRank ranks colocation-hub importance: 1 is the densest
+	// interconnection hub; 0 means the city is not a colo hub. The ranking
+	// loosely follows PeeringDB facility density circa 2017 and drives both
+	// facility generation and tier-1 PoP placement.
+	HubRank int
+}
+
+// IsHub reports whether the city hosts colocation facilities at all.
+func (c City) IsHub() bool { return c.HubRank > 0 }
+
+// Cities returns the full city registry. The returned slice is a copy and
+// safe to mutate.
+func Cities() []City {
+	out := make([]City, len(cities))
+	copy(out, cities)
+	return out
+}
+
+// cities is the master list. Coordinates are real; hub ranks approximate
+// the 2017 interconnection landscape (Western Europe and the US East Coast
+// dominate, matching the paper's Table 1).
+var cities = []City{
+	// Europe.
+	{"London", "GB", Europe, geo.Coord{Lat: 51.5074, Lon: -0.1278}, 1},
+	{"Amsterdam", "NL", Europe, geo.Coord{Lat: 52.3676, Lon: 4.9041}, 2},
+	{"Frankfurt", "DE", Europe, geo.Coord{Lat: 50.1109, Lon: 8.6821}, 3},
+	{"Paris", "FR", Europe, geo.Coord{Lat: 48.8566, Lon: 2.3522}, 5},
+	{"Brussels", "BE", Europe, geo.Coord{Lat: 50.8503, Lon: 4.3517}, 13},
+	{"Hamburg", "DE", Europe, geo.Coord{Lat: 53.5511, Lon: 9.9937}, 17},
+	{"Madrid", "ES", Europe, geo.Coord{Lat: 40.4168, Lon: -3.7038}, 19},
+	{"Barcelona", "ES", Europe, geo.Coord{Lat: 41.3874, Lon: 2.1686}, 0},
+	{"Rome", "IT", Europe, geo.Coord{Lat: 41.9028, Lon: 12.4964}, 0},
+	{"Milan", "IT", Europe, geo.Coord{Lat: 45.4642, Lon: 9.19}, 16},
+	{"Vienna", "AT", Europe, geo.Coord{Lat: 48.2082, Lon: 16.3738}, 18},
+	{"Zurich", "CH", Europe, geo.Coord{Lat: 47.3769, Lon: 8.5417}, 20},
+	{"Geneva", "CH", Europe, geo.Coord{Lat: 46.2044, Lon: 6.1432}, 0},
+	{"Stockholm", "SE", Europe, geo.Coord{Lat: 59.3293, Lon: 18.0686}, 15},
+	{"Oslo", "NO", Europe, geo.Coord{Lat: 59.9139, Lon: 10.7522}, 28},
+	{"Copenhagen", "DK", Europe, geo.Coord{Lat: 55.6761, Lon: 12.5683}, 26},
+	{"Helsinki", "FI", Europe, geo.Coord{Lat: 60.1699, Lon: 24.9384}, 29},
+	{"Warsaw", "PL", Europe, geo.Coord{Lat: 52.2297, Lon: 21.0122}, 22},
+	{"Prague", "CZ", Europe, geo.Coord{Lat: 50.0755, Lon: 14.4378}, 23},
+	{"Budapest", "HU", Europe, geo.Coord{Lat: 47.4979, Lon: 19.0402}, 30},
+	{"Bucharest", "RO", Europe, geo.Coord{Lat: 44.4268, Lon: 26.1025}, 27},
+	{"Sofia", "BG", Europe, geo.Coord{Lat: 42.6977, Lon: 23.3219}, 0},
+	{"Athens", "GR", Europe, geo.Coord{Lat: 37.9838, Lon: 23.7275}, 0},
+	{"Lisbon", "PT", Europe, geo.Coord{Lat: 38.7223, Lon: -9.1393}, 0},
+	{"Dublin", "IE", Europe, geo.Coord{Lat: 53.3498, Lon: -6.2603}, 21},
+	{"Kyiv", "UA", Europe, geo.Coord{Lat: 50.4501, Lon: 30.5234}, 0},
+	{"Moscow", "RU", Europe, geo.Coord{Lat: 55.7558, Lon: 37.6173}, 24},
+	{"Istanbul", "TR", Europe, geo.Coord{Lat: 41.0082, Lon: 28.9784}, 0},
+	{"Bratislava", "SK", Europe, geo.Coord{Lat: 48.1486, Lon: 17.1077}, 0},
+	{"Ljubljana", "SI", Europe, geo.Coord{Lat: 46.0569, Lon: 14.5058}, 0},
+	{"Zagreb", "HR", Europe, geo.Coord{Lat: 45.8150, Lon: 15.9819}, 0},
+	{"Belgrade", "RS", Europe, geo.Coord{Lat: 44.7866, Lon: 20.4489}, 0},
+	{"Riga", "LV", Europe, geo.Coord{Lat: 56.9496, Lon: 24.1052}, 0},
+	{"Vilnius", "LT", Europe, geo.Coord{Lat: 54.6872, Lon: 25.2797}, 0},
+	{"Tallinn", "EE", Europe, geo.Coord{Lat: 59.4370, Lon: 24.7536}, 0},
+	{"Luxembourg", "LU", Europe, geo.Coord{Lat: 49.6116, Lon: 6.1319}, 0},
+	{"Reykjavik", "IS", Europe, geo.Coord{Lat: 64.1466, Lon: -21.9426}, 0},
+
+	// North America.
+	{"New York", "US", NorthAmerica, geo.Coord{Lat: 40.7128, Lon: -74.0060}, 4},
+	{"Ashburn", "US", NorthAmerica, geo.Coord{Lat: 39.0438, Lon: -77.4874}, 6},
+	{"Atlanta", "US", NorthAmerica, geo.Coord{Lat: 33.7490, Lon: -84.3880}, 8},
+	{"Miami", "US", NorthAmerica, geo.Coord{Lat: 25.7617, Lon: -80.1918}, 12},
+	{"Chicago", "US", NorthAmerica, geo.Coord{Lat: 41.8781, Lon: -87.6298}, 11},
+	{"Dallas", "US", NorthAmerica, geo.Coord{Lat: 32.7767, Lon: -96.7970}, 14},
+	{"Los Angeles", "US", NorthAmerica, geo.Coord{Lat: 34.0522, Lon: -118.2437}, 10},
+	{"San Jose", "US", NorthAmerica, geo.Coord{Lat: 37.3382, Lon: -121.8863}, 9},
+	{"Seattle", "US", NorthAmerica, geo.Coord{Lat: 47.6062, Lon: -122.3321}, 25},
+	{"Denver", "US", NorthAmerica, geo.Coord{Lat: 39.7392, Lon: -104.9903}, 0},
+	{"Toronto", "CA", NorthAmerica, geo.Coord{Lat: 43.6532, Lon: -79.3832}, 31},
+	{"Montreal", "CA", NorthAmerica, geo.Coord{Lat: 45.5017, Lon: -73.5673}, 0},
+	{"Vancouver", "CA", NorthAmerica, geo.Coord{Lat: 49.2827, Lon: -123.1207}, 0},
+	{"Mexico City", "MX", NorthAmerica, geo.Coord{Lat: 19.4326, Lon: -99.1332}, 0},
+	{"Panama City", "PA", NorthAmerica, geo.Coord{Lat: 8.9824, Lon: -79.5199}, 0},
+	{"San Jose CR", "CR", NorthAmerica, geo.Coord{Lat: 9.9281, Lon: -84.0907}, 0},
+
+	// South America.
+	{"Sao Paulo", "BR", SouthAmerica, geo.Coord{Lat: -23.5505, Lon: -46.6333}, 32},
+	{"Buenos Aires", "AR", SouthAmerica, geo.Coord{Lat: -34.6037, Lon: -58.3816}, 0},
+	{"Santiago", "CL", SouthAmerica, geo.Coord{Lat: -33.4489, Lon: -70.6693}, 0},
+	{"Bogota", "CO", SouthAmerica, geo.Coord{Lat: 4.7110, Lon: -74.0721}, 0},
+	{"Lima", "PE", SouthAmerica, geo.Coord{Lat: -12.0464, Lon: -77.0428}, 0},
+	{"Montevideo", "UY", SouthAmerica, geo.Coord{Lat: -34.9011, Lon: -56.1645}, 0},
+	{"Quito", "EC", SouthAmerica, geo.Coord{Lat: -0.1807, Lon: -78.4678}, 0},
+
+	// Asia.
+	{"Tokyo", "JP", Asia, geo.Coord{Lat: 35.6762, Lon: 139.6503}, 33},
+	{"Osaka", "JP", Asia, geo.Coord{Lat: 34.6937, Lon: 135.5023}, 0},
+	{"Seoul", "KR", Asia, geo.Coord{Lat: 37.5665, Lon: 126.9780}, 35},
+	{"Beijing", "CN", Asia, geo.Coord{Lat: 39.9042, Lon: 116.4074}, 0},
+	{"Shanghai", "CN", Asia, geo.Coord{Lat: 31.2304, Lon: 121.4737}, 0},
+	{"Hong Kong", "HK", Asia, geo.Coord{Lat: 22.3193, Lon: 114.1694}, 34},
+	{"Taipei", "TW", Asia, geo.Coord{Lat: 25.0330, Lon: 121.5654}, 0},
+	{"Singapore", "SG", Asia, geo.Coord{Lat: 1.3521, Lon: 103.8198}, 7},
+	{"Kuala Lumpur", "MY", Asia, geo.Coord{Lat: 3.1390, Lon: 101.6869}, 0},
+	{"Bangkok", "TH", Asia, geo.Coord{Lat: 13.7563, Lon: 100.5018}, 0},
+	{"Jakarta", "ID", Asia, geo.Coord{Lat: -6.2088, Lon: 106.8456}, 0},
+	{"Manila", "PH", Asia, geo.Coord{Lat: 14.5995, Lon: 120.9842}, 0},
+	{"Hanoi", "VN", Asia, geo.Coord{Lat: 21.0285, Lon: 105.8542}, 0},
+	{"Mumbai", "IN", Asia, geo.Coord{Lat: 19.0760, Lon: 72.8777}, 36},
+	{"Delhi", "IN", Asia, geo.Coord{Lat: 28.7041, Lon: 77.1025}, 0},
+	{"Chennai", "IN", Asia, geo.Coord{Lat: 13.0827, Lon: 80.2707}, 0},
+	{"Karachi", "PK", Asia, geo.Coord{Lat: 24.8607, Lon: 67.0011}, 0},
+	{"Dhaka", "BD", Asia, geo.Coord{Lat: 23.8103, Lon: 90.4125}, 0},
+	{"Colombo", "LK", Asia, geo.Coord{Lat: 6.9271, Lon: 79.8612}, 0},
+	{"Kathmandu", "NP", Asia, geo.Coord{Lat: 27.7172, Lon: 85.3240}, 0},
+	{"Dubai", "AE", Asia, geo.Coord{Lat: 25.2048, Lon: 55.2708}, 37},
+	{"Tel Aviv", "IL", Asia, geo.Coord{Lat: 32.0853, Lon: 34.7818}, 0},
+	{"Riyadh", "SA", Asia, geo.Coord{Lat: 24.7136, Lon: 46.6753}, 0},
+	{"Doha", "QA", Asia, geo.Coord{Lat: 25.2854, Lon: 51.5310}, 0},
+	{"Almaty", "KZ", Asia, geo.Coord{Lat: 43.2220, Lon: 76.8512}, 0},
+
+	// Oceania.
+	{"Sydney", "AU", Oceania, geo.Coord{Lat: -33.8688, Lon: 151.2093}, 38},
+	{"Melbourne", "AU", Oceania, geo.Coord{Lat: -37.8136, Lon: 144.9631}, 0},
+	{"Perth", "AU", Oceania, geo.Coord{Lat: -31.9505, Lon: 115.8605}, 0},
+	{"Auckland", "NZ", Oceania, geo.Coord{Lat: -36.8485, Lon: 174.7633}, 0},
+
+	// Africa.
+	{"Johannesburg", "ZA", Africa, geo.Coord{Lat: -26.2041, Lon: 28.0473}, 39},
+	{"Cape Town", "ZA", Africa, geo.Coord{Lat: -33.9249, Lon: 18.4241}, 0},
+	{"Nairobi", "KE", Africa, geo.Coord{Lat: -1.2921, Lon: 36.8219}, 0},
+	{"Lagos", "NG", Africa, geo.Coord{Lat: 6.5244, Lon: 3.3792}, 0},
+	{"Cairo", "EG", Africa, geo.Coord{Lat: 30.0444, Lon: 31.2357}, 0},
+	{"Casablanca", "MA", Africa, geo.Coord{Lat: 33.5731, Lon: -7.5898}, 0},
+	{"Accra", "GH", Africa, geo.Coord{Lat: 5.6037, Lon: -0.1870}, 0},
+	{"Tunis", "TN", Africa, geo.Coord{Lat: 36.8065, Lon: 10.1815}, 0},
+}

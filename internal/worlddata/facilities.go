@@ -1,0 +1,68 @@
+package worlddata
+
+// FacilitySeed describes a real colocation facility seeded into the
+// synthetic PeeringDB registry. The ten entries below are the facilities of
+// the paper's Table 1, with their published attributes (PeeringDB ID,
+// member-network count, IXP count, cloud services on site, and whether the
+// facility is in PeeringDB's top 10 by colocated networks).
+type FacilitySeed struct {
+	Name     string
+	PDBID    int
+	CityName string
+	NetCount int
+	IXPCount int
+	Cloud    bool
+	PDBTop10 bool
+}
+
+// Table1Facilities returns the paper's Table-1 facilities in rank order.
+// The synthetic facility generator places these first, so that top-relay
+// rankings can be compared against the paper by name.
+func Table1Facilities() []FacilitySeed {
+	return []FacilitySeed{
+		{Name: "Telehouse North", PDBID: 34, CityName: "London", NetCount: 361, IXPCount: 6, Cloud: true, PDBTop10: true},
+		{Name: "Equinix-AM7", PDBID: 62, CityName: "Amsterdam", NetCount: 184, IXPCount: 4, Cloud: true, PDBTop10: true},
+		{Name: "Nikhef", PDBID: 18, CityName: "Amsterdam", NetCount: 151, IXPCount: 6, Cloud: true, PDBTop10: false},
+		{Name: "Equinix-FR5", PDBID: 60, CityName: "Frankfurt", NetCount: 235, IXPCount: 11, Cloud: true, PDBTop10: true},
+		{Name: "Telehouse West", PDBID: 835, CityName: "London", NetCount: 89, IXPCount: 5, Cloud: true, PDBTop10: false},
+		{Name: "Digital Realty Telx Atlanta", PDBID: 125, CityName: "Atlanta", NetCount: 125, IXPCount: 2, Cloud: true, PDBTop10: false},
+		{Name: "Incolocate", PDBID: 105, CityName: "Hamburg", NetCount: 22, IXPCount: 3, Cloud: true, PDBTop10: false},
+		{Name: "Interxion Brussels", PDBID: 68, CityName: "Brussels", NetCount: 58, IXPCount: 3, Cloud: true, PDBTop10: false},
+		{Name: "Digital Realty Telx NY", PDBID: 10, CityName: "New York", NetCount: 112, IXPCount: 5, Cloud: true, PDBTop10: false},
+		{Name: "Equinix-LD8", PDBID: 45, CityName: "London", NetCount: 208, IXPCount: 4, Cloud: true, PDBTop10: true},
+	}
+}
+
+// GenericFacilityOperators are operator names used when generating the
+// remaining synthetic facilities beyond the Table-1 seeds.
+var GenericFacilityOperators = []string{
+	"Equinix", "Interxion", "Telehouse", "Digital Realty", "CoreSite",
+	"NTT", "Global Switch", "CyrusOne", "Telx", "DataBank", "e-shelter",
+	"Iron Mountain", "KDDI Telehouse", "NEXTDC", "Teraco",
+}
+
+// LandingPoint is a submarine-cable landing site; used by the future-work
+// regional analysis (paper Section 5, item iii).
+type LandingPoint struct {
+	Name     string
+	CityName string // nearest registry city
+}
+
+// LandingPoints returns major submarine-cable landing sites mapped to their
+// nearest registry city.
+func LandingPoints() []LandingPoint {
+	return []LandingPoint{
+		{Name: "Bude/Cornwall", CityName: "London"},
+		{Name: "Marseille", CityName: "Paris"},
+		{Name: "Lisbon/Sesimbra", CityName: "Lisbon"},
+		{Name: "New Jersey Shore", CityName: "New York"},
+		{Name: "Virginia Beach", CityName: "Ashburn"},
+		{Name: "Fortaleza", CityName: "Sao Paulo"},
+		{Name: "Tuas", CityName: "Singapore"},
+		{Name: "Chikura", CityName: "Tokyo"},
+		{Name: "Sydney Northern Beaches", CityName: "Sydney"},
+		{Name: "Mtunzini", CityName: "Johannesburg"},
+		{Name: "Mumbai Versova", CityName: "Mumbai"},
+		{Name: "Alexandria", CityName: "Cairo"},
+	}
+}

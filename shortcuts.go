@@ -1,0 +1,182 @@
+// Package shortcuts reproduces "Shortcuts through Colocation Facilities"
+// (Kotronis et al., IMC 2017) as a reusable library: it builds a
+// deterministic synthetic Internet (AS-level topology with valley-free
+// BGP, PoP-level geography and a calibrated latency model), deploys the
+// paper's vantage-point populations (RIPE Atlas, PlanetLab, verified colo
+// IPs), runs the 12-hourly relay measurement campaign, and exposes every
+// figure, table and in-text statistic of the paper's evaluation.
+//
+// Quickstart:
+//
+//	c, err := shortcuts.NewCampaign(shortcuts.DefaultConfig())
+//	if err != nil { ... }
+//	res, err := c.Run()
+//	if err != nil { ... }
+//	fmt.Printf("COR improves %.0f%% of pairs\n", 100*res.ImprovedFraction(shortcuts.COR))
+//
+// Everything is deterministic per Config.Seed.
+package shortcuts
+
+import (
+	"fmt"
+	"io"
+
+	"shortcuts/internal/core"
+	"shortcuts/internal/measure"
+	"shortcuts/internal/relays"
+	"shortcuts/internal/report"
+	"shortcuts/internal/sim"
+)
+
+// RelayType identifies one of the paper's relay populations.
+type RelayType int
+
+// The four relay populations compared by the paper.
+const (
+	// COR are relays at verified colocation-facility IPs.
+	COR RelayType = RelayType(relays.COR)
+	// PLR are PlanetLab nodes at research sites.
+	PLR RelayType = RelayType(relays.PLR)
+	// RAREye are RIPE Atlas probes in verified eyeball networks.
+	RAREye RelayType = RelayType(relays.RAREye)
+	// RAROther are RIPE Atlas probes in all other networks.
+	RAROther RelayType = RelayType(relays.RAROther)
+)
+
+// RelayTypes lists all populations in the paper's reporting order.
+func RelayTypes() []RelayType { return []RelayType{COR, PLR, RAROther, RAREye} }
+
+// String implements fmt.Stringer with the paper's labels.
+func (t RelayType) String() string { return relays.Type(t).String() }
+
+// Config selects the world and campaign dimensions.
+type Config struct {
+	// Seed drives every stochastic component; equal seeds reproduce
+	// campaigns bit-for-bit.
+	Seed int64
+	// Rounds is the number of 12-hour measurement rounds (paper: 45).
+	Rounds int
+	// SmallWorld selects the reduced topology for fast experimentation.
+	SmallWorld bool
+	// Concurrency bounds the measurement worker pool; 0 means GOMAXPROCS.
+	Concurrency int
+}
+
+// DefaultConfig returns the paper's full campaign: the default world and
+// 45 rounds.
+func DefaultConfig() Config {
+	return Config{Seed: 1, Rounds: 45}
+}
+
+// QuickConfig returns a config for fast runs: the full world over the
+// given number of rounds.
+func QuickConfig(rounds int) Config {
+	return Config{Seed: 1, Rounds: rounds}
+}
+
+// Campaign is a built world plus a measurement schedule, ready to run.
+type Campaign struct {
+	inner *core.Campaign
+}
+
+// NewCampaign builds the synthetic world for the config. Building the
+// default world takes well under a second; the expensive part is Run.
+func NewCampaign(cfg Config) (*Campaign, error) {
+	if cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("shortcuts: Rounds must be positive, got %d", cfg.Rounds)
+	}
+	wp := sim.DefaultWorldParams(cfg.Seed)
+	if cfg.SmallWorld {
+		wp = sim.SmallWorldParams(cfg.Seed)
+	}
+	mc := measure.QuickConfig(cfg.Rounds)
+	mc.Concurrency = cfg.Concurrency
+	inner, err := core.NewCampaign(wp, mc)
+	if err != nil {
+		return nil, err
+	}
+	return &Campaign{inner: inner}, nil
+}
+
+// Run executes the measurement campaign and returns its results.
+func (c *Campaign) Run() (*Results, error) {
+	res, err := c.inner.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &Results{res: res}, nil
+}
+
+// Funnel describes the COR selection pipeline counts (Section 2.2; the
+// paper's funnel is 2675 -> 1008 -> 764 -> 725 -> 725 -> 356 over 58
+// facilities in 36 cities).
+type Funnel struct {
+	Initial                int
+	SingleFacilityActive   int
+	Pingable               int
+	SameOwnership          int
+	ActiveFacilityPresence int
+	Geolocated             int
+	Facilities             int
+	Cities                 int
+}
+
+// Funnel returns the campaign world's COR pipeline counts.
+func (c *Campaign) Funnel() Funnel {
+	f := c.inner.World.Catalog.Funnel
+	return Funnel{
+		Initial:                f.Initial,
+		SingleFacilityActive:   f.SingleFacilityActive,
+		Pingable:               f.Pingable,
+		SameOwnership:          f.SameOwnership,
+		ActiveFacilityPresence: f.ActiveFacilityPresence,
+		Geolocated:             f.Geolocated,
+		Facilities:             f.Facilities,
+		Cities:                 f.Cities,
+	}
+}
+
+// CutoffPoint is one point of the Figure-1 eyeball-selection curve.
+type CutoffPoint struct {
+	Cutoff    float64 // user-coverage threshold, percent
+	ASes      int
+	Countries int
+}
+
+// EyeballCutoffCurve computes Figure 1 over the campaign's APNIC dataset.
+func (c *Campaign) EyeballCutoffCurve(cutoffs []float64) []CutoffPoint {
+	pts := c.inner.World.Apnic.CutoffCurve(cutoffs)
+	out := make([]CutoffPoint, len(pts))
+	for i, p := range pts {
+		out[i] = CutoffPoint{Cutoff: p.Cutoff, ASes: p.ASes, Countries: p.Countries}
+	}
+	return out
+}
+
+// WriteFig1CSV writes the Figure-1 series.
+func (c *Campaign) WriteFig1CSV(w io.Writer) error {
+	return report.Fig1(w, c.inner.World.Apnic)
+}
+
+// TwoRelayStats compares the best single-relay path against the best
+// two-relay path over colo relays, the check behind the paper's
+// one-relay design decision (citing Han et al. and Le et al.).
+type TwoRelayStats struct {
+	Pairs              int
+	OneRelaySufficient int     // pairs where a second relay adds <= 2 ms
+	MedianExtraGainMs  float64 // median extra gain of the second relay
+}
+
+// TwoRelayCheck runs the one-vs-two-relay extension experiment over a
+// sample of endpoint pairs and the round-0 COR relay set.
+func (c *Campaign) TwoRelayCheck(maxPairs, maxRelays int) (TwoRelayStats, error) {
+	r, err := measure.TwoRelayExperiment(c.inner.World, c.inner.Measure, 0, maxPairs, maxRelays)
+	if err != nil {
+		return TwoRelayStats{}, err
+	}
+	return TwoRelayStats{
+		Pairs:              r.Pairs,
+		OneRelaySufficient: r.OneRelaySufficient,
+		MedianExtraGainMs:  r.MedianExtraGainMs,
+	}, nil
+}

@@ -1,0 +1,232 @@
+package shortcuts
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	apiOnce sync.Once
+	apiCamp *Campaign
+	apiRes  *Results
+	apiErr  error
+)
+
+func apiResults(t *testing.T) (*Campaign, *Results) {
+	t.Helper()
+	apiOnce.Do(func() {
+		apiCamp, apiErr = NewCampaign(Config{Seed: 1, Rounds: 2, SmallWorld: true})
+		if apiErr != nil {
+			return
+		}
+		apiRes, apiErr = apiCamp.Run()
+	})
+	if apiErr != nil {
+		t.Fatal(apiErr)
+	}
+	return apiCamp, apiRes
+}
+
+func TestNewCampaignValidatesConfig(t *testing.T) {
+	if _, err := NewCampaign(Config{Seed: 1, Rounds: 0}); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+}
+
+func TestRunProducesResults(t *testing.T) {
+	_, res := apiResults(t)
+	if res.Pairs() == 0 || res.Rounds() != 2 || res.TotalPings() == 0 {
+		t.Fatalf("results empty: pairs=%d rounds=%d pings=%d",
+			res.Pairs(), res.Rounds(), res.TotalPings())
+	}
+}
+
+func TestRelayTypeOrderAndStrings(t *testing.T) {
+	want := []string{"COR", "PLR", "RAR_other", "RAR_eye"}
+	for i, ty := range RelayTypes() {
+		if ty.String() != want[i] {
+			t.Fatalf("RelayTypes()[%d] = %s, want %s", i, ty, want[i])
+		}
+	}
+}
+
+func TestImprovedFractionsSane(t *testing.T) {
+	_, res := apiResults(t)
+	for _, ty := range RelayTypes() {
+		f := res.ImprovedFraction(ty)
+		if f < 0 || f > 1 {
+			t.Fatalf("%v fraction %v", ty, f)
+		}
+	}
+	// Even in the small world, colo relays should be competitive.
+	if res.ImprovedFraction(COR) < res.ImprovedFraction(RAREye) {
+		t.Fatal("COR underperforms RAR_eye in the small world")
+	}
+}
+
+func TestFunnelExposed(t *testing.T) {
+	c, _ := apiResults(t)
+	f := c.Funnel()
+	if f.Initial == 0 || f.Geolocated == 0 || f.Geolocated > f.Initial {
+		t.Fatalf("funnel malformed: %+v", f)
+	}
+}
+
+func TestEyeballCutoffCurve(t *testing.T) {
+	c, _ := apiResults(t)
+	pts := c.EyeballCutoffCurve([]float64{0, 10, 50})
+	if len(pts) != 3 {
+		t.Fatalf("curve has %d points", len(pts))
+	}
+	if pts[0].ASes < pts[1].ASes || pts[1].ASes < pts[2].ASes {
+		t.Fatal("curve not non-increasing")
+	}
+}
+
+func TestCDFAndCurvesExposed(t *testing.T) {
+	_, res := apiResults(t)
+	cdf := res.ImprovementCDF(COR, []float64{0, 10, 100})
+	if len(cdf) != 3 || cdf[2].Fraction < cdf[0].Fraction {
+		t.Fatalf("cdf malformed: %+v", cdf)
+	}
+	curve := res.TopRelayCurve(COR, 10)
+	for i := 1; i < len(curve); i++ {
+		if curve[i].FracTotal < curve[i-1].FracTotal {
+			t.Fatal("top relay curve decreasing")
+		}
+	}
+	ths := res.ThresholdCurves(COR, 5, []float64{0, 20})
+	if len(ths) != 2 || ths[0].TopN > ths[0].All {
+		t.Fatalf("threshold curves malformed: %+v", ths)
+	}
+}
+
+func TestTable1Exposed(t *testing.T) {
+	_, res := apiResults(t)
+	rows := res.TopFacilities(20)
+	if len(rows) == 0 {
+		t.Fatal("no facilities")
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTable1(&buf, 20); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), rows[0].Name) {
+		t.Fatal("rendered table missing the top facility")
+	}
+}
+
+func TestWritersProduceOutput(t *testing.T) {
+	c, res := apiResults(t)
+	writers := []func(*bytes.Buffer) error{
+		func(b *bytes.Buffer) error { return res.WriteSummary(b) },
+		func(b *bytes.Buffer) error { return res.WriteFunnel(b) },
+		func(b *bytes.Buffer) error { return res.WriteFig2CSV(b) },
+		func(b *bytes.Buffer) error { return res.WriteFig3CSV(b, 20) },
+		func(b *bytes.Buffer) error { return res.WriteFig4CSV(b, 10) },
+		func(b *bytes.Buffer) error { return c.WriteFig1CSV(b) },
+	}
+	for i, w := range writers {
+		var buf bytes.Buffer
+		if err := w(&buf); err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("writer %d produced no output", i)
+		}
+	}
+}
+
+func TestObservationsBetween(t *testing.T) {
+	_, res := apiResults(t)
+	ccs := res.Countries()
+	if len(ccs) < 2 {
+		t.Fatal("fewer than two countries observed")
+	}
+	found := false
+	for i := 0; i < len(ccs) && !found; i++ {
+		for j := i + 1; j < len(ccs) && !found; j++ {
+			obs := res.ObservationsBetween(ccs[i], ccs[j])
+			if len(obs) == 0 {
+				continue
+			}
+			found = true
+			for k := 1; k < len(obs); k++ {
+				if obs[k].ImprovementMs > obs[k-1].ImprovementMs {
+					t.Fatal("observations not sorted by improvement")
+				}
+			}
+			// Order-insensitivity.
+			rev := res.ObservationsBetween(ccs[j], ccs[i])
+			if len(rev) != len(obs) {
+				t.Fatal("ObservationsBetween not symmetric")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no corridor with observations")
+	}
+	if got := res.ObservationsBetween("ZZ", "XX"); len(got) != 0 {
+		t.Fatal("unknown corridor returned observations")
+	}
+}
+
+func TestAggregateStatsExposed(t *testing.T) {
+	_, res := apiResults(t)
+	if f := res.ResponsiveFraction(); f <= 0 || f > 1 {
+		t.Fatalf("responsive fraction %v", f)
+	}
+	v := res.VoIP()
+	if v.WithCOROver > v.DirectOver {
+		t.Fatal("VoIP fraction increased with COR")
+	}
+	if f := res.IntercontinentalFraction(); f <= 0 || f > 1 {
+		t.Fatalf("intercontinental %v", f)
+	}
+	if s := res.SymmetryWithin5(); s <= 0 || s > 1 {
+		t.Fatalf("symmetry %v", s)
+	}
+	below, max := res.StabilityCV()
+	if below < 0 || below > 1 || max < 0 {
+		t.Fatalf("stability %v %v", below, max)
+	}
+	if res.RelayedPathsStudied() <= 0 {
+		t.Fatal("no relayed paths")
+	}
+	if feats := res.FacilityFeatureAttribution(); len(feats) != 3 {
+		t.Fatalf("features %d", len(feats))
+	}
+	if buckets := res.LandingPointProximity([]float64{500}); len(buckets) != 2 {
+		t.Fatalf("buckets %d", len(buckets))
+	}
+}
+
+func TestDeterministicAcrossCampaigns(t *testing.T) {
+	c1, err := NewCampaign(Config{Seed: 9, Rounds: 1, SmallWorld: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCampaign(Config{Seed: 9, Rounds: 1, SmallWorld: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := c1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Pairs() != r2.Pairs() || r1.TotalPings() != r2.TotalPings() {
+		t.Fatalf("same-seed campaigns differ: %d/%d pairs, %d/%d pings",
+			r1.Pairs(), r2.Pairs(), r1.TotalPings(), r2.TotalPings())
+	}
+	for _, ty := range RelayTypes() {
+		if r1.ImprovedFraction(ty) != r2.ImprovedFraction(ty) {
+			t.Fatalf("%v fractions differ", ty)
+		}
+	}
+}
