@@ -4,12 +4,16 @@ import (
 	"io"
 	"sync"
 	"testing"
+	"time"
 
 	"shortcuts/internal/analysis"
+	"shortcuts/internal/latency"
 	"shortcuts/internal/measure"
 	"shortcuts/internal/relays"
 	"shortcuts/internal/report"
+	"shortcuts/internal/rng"
 	"shortcuts/internal/sim"
+	"shortcuts/internal/topology"
 )
 
 // The benchmark harness regenerates every table and figure of the paper's
@@ -280,6 +284,80 @@ func BenchmarkTwoRelayExtension(b *testing.B) {
 		b.ReportMetric(100*float64(r.OneRelaySufficient)/float64(r.Pairs), "one_relay_sufficient_pct")
 		b.ReportMetric(r.MedianExtraGainMs, "median_extra_gain_ms")
 	}
+}
+
+// BenchmarkRunStream times one full round through the streaming
+// executor with constant-memory aggregates (no observation slice);
+// allocation counts expose any per-observation buildup.
+func BenchmarkRunStream(b *testing.B) {
+	w, _ := benchResults(b)
+	b.ReportAllocs()
+	var cor float64
+	for i := 0; i < b.N; i++ {
+		stats := measure.NewStreamStats()
+		if err := measure.RunStream(w, measure.QuickConfig(1), stats); err != nil {
+			b.Fatal(err)
+		}
+		if stats.Pairs() == 0 {
+			b.Fatal("no observations streamed")
+		}
+		cor = stats.ImprovedFraction(relays.COR)
+	}
+	b.ReportMetric(cor*100, "cor_improved_pct")
+}
+
+// benchmarkEngineCache hammers a pre-warmed path-state cache from many
+// goroutines via BaseRTT, whose cost is almost entirely the cache read
+// path (hash + lock + map lookup) — the operation every simulated ping
+// performs before pricing. shards=1 is the old single-RWMutex layout;
+// larger counts stripe the lock traffic. The gap widens with real
+// cores: on one core an RWMutex cannot actually be contended.
+func benchmarkEngineCache(b *testing.B, shards int) {
+	w, _ := benchResults(b)
+	p := latency.DefaultParams()
+	p.CacheShards = shards
+	eng := latency.New(w.Router, p, rng.New(1))
+	eyes := w.Topo.ASesOfType(topology.Eyeball)
+	var eps []latency.Endpoint
+	for i := 0; i < len(eyes) && len(eps) < 64; i += 2 {
+		eps = append(eps, latency.Endpoint{
+			AS: eyes[i].ASN, City: eyes[i].HomeCity(),
+			Access: time.Duration(1+i%7) * time.Millisecond,
+		})
+	}
+	for i := range eps {
+		for j := i + 1; j < len(eps); j++ {
+			if _, err := eng.BaseRTT(eps[i], eps[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// >= 8 concurrent workers even on small machines.
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			ai := i % len(eps)
+			ci := (i*7 + 3) % len(eps)
+			if ci == ai {
+				ci = (ci + 1) % len(eps)
+			}
+			if _, err := eng.BaseRTT(eps[ai], eps[ci]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkEngineCacheSingleMap measures the pre-shard layout: every
+// cache hit takes the one global RWMutex.
+func BenchmarkEngineCacheSingleMap(b *testing.B) { benchmarkEngineCache(b, 1) }
+
+// BenchmarkEngineCacheSharded measures the default sharded layout.
+func BenchmarkEngineCacheSharded(b *testing.B) {
+	benchmarkEngineCache(b, latency.DefaultCacheShards)
 }
 
 // BenchmarkPing times a single simulated ping through the cached latency

@@ -23,8 +23,12 @@ func main() {
 		rounds = flag.Int("rounds", 45, "measurement rounds (paper: 45 over one month)")
 		small  = flag.Bool("small", false, "use the reduced world for a fast run")
 		out    = flag.String("out", "", "directory for figure CSVs (omit to skip)")
+		stream = flag.Bool("stream", false, "streaming mode: constant-memory aggregates, no per-observation tables")
 	)
 	flag.Parse()
+	if *stream && *out != "" {
+		fatal(fmt.Errorf("-out requires materialized observations; drop -stream to write figure CSVs"))
+	}
 
 	cfg := shortcuts.Config{Seed: *seed, Rounds: *rounds, SmallWorld: *small}
 	start := time.Now()
@@ -41,12 +45,35 @@ func main() {
 		f.ActiveFacilityPresence, f.Geolocated)
 	fmt.Printf("%d facilities in %d cities (paper: 58 in 36)\n\n", f.Facilities, f.Cities)
 
+	progress := func(ri shortcuts.RoundInfo) {
+		fmt.Printf("round %d/%d: %d endpoints, %d/%d pairs usable, %d pings\n",
+			ri.Round+1, *rounds, ri.Endpoints, ri.PairsUsable, ri.PairsAttempted, ri.PingsSent)
+	}
+
+	if *stream {
+		// Streaming mode: observations are aggregated on the fly and
+		// never materialized, so memory stays flat however many rounds
+		// run. Only the incremental headline statistics are reported.
+		start = time.Now()
+		stats, err := campaign.RunStream(shortcuts.RoundProgressSink(progress))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ncampaign (streaming): %d rounds in %v, %d pings, %d pair observations\n\n",
+			stats.Rounds(), time.Since(start).Round(time.Millisecond), stats.TotalPings(), stats.Pairs())
+		fmt.Println("== Headline results (streaming aggregates) ==")
+		if err := stats.WriteSummary(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	start = time.Now()
-	res, err := campaign.Run()
+	res, err := campaign.RunWithProgress(progress)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("campaign: %d rounds in %v, %d pings, %d pair observations\n\n",
+	fmt.Printf("\ncampaign: %d rounds in %v, %d pings, %d pair observations\n\n",
 		res.Rounds(), time.Since(start).Round(time.Millisecond), res.TotalPings(), res.Pairs())
 
 	fmt.Println("== Headline results (Figure 2 and in-text) ==")

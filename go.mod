@@ -1,0 +1,3 @@
+module shortcuts
+
+go 1.24

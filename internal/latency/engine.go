@@ -28,13 +28,29 @@ import (
 )
 
 // Engine computes RTTs. Safe for concurrent use.
+//
+// The per-pair path-state cache is split into power-of-two shards keyed
+// by the pair hash, so a worker pool hammering the cache contends on
+// 1/N-th of the lock traffic instead of one global RWMutex. The shard
+// count is a pure performance knob: results are bit-for-bit identical
+// for any value (all stochastic draws derive from path identity, never
+// from cache layout).
 type Engine struct {
 	router *bgp.Router
 	p      Params
 	root   *rng.Rand
 
-	mu   sync.RWMutex
+	shards []cacheShard
+	mask   uint64
+}
+
+// cacheShard is one lock-striped slice of the path-state cache. Padding
+// to a full 64-byte cache line keeps neighbouring shards from false
+// sharing under write-heavy warmup.
+type cacheShard struct {
+	mu   sync.RWMutex // 24 bytes
 	base map[pairKey]*pathState
+	_    [32]byte
 }
 
 // pairKey is the canonical (unordered) identity of an endpoint pair.
@@ -78,26 +94,59 @@ func (st *pathState) staticRTT() float64 {
 	return float64(st.wideRTT)*st.congestion + float64(st.accessRTT)
 }
 
+// DefaultCacheShards is the path-state shard count used when
+// Params.CacheShards is zero.
+const DefaultCacheShards = 64
+
 // New creates an engine over the given router with the given parameters;
 // root drives all stochastic draws.
 func New(router *bgp.Router, p Params, root *rng.Rand) *Engine {
-	return &Engine{
+	n := p.CacheShards
+	if n <= 0 {
+		n = DefaultCacheShards
+	}
+	n = ceilPow2(n)
+	e := &Engine{
 		router: router,
 		p:      p,
 		root:   root.Split("latency"),
-		base:   make(map[pairKey]*pathState),
+		shards: make([]cacheShard, n),
+		mask:   uint64(n - 1),
 	}
+	for i := range e.shards {
+		e.shards[i].base = make(map[pairKey]*pathState)
+	}
+	return e
+}
+
+// ceilPow2 rounds n up to the next power of two.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // Params returns the engine's calibration constants.
 func (e *Engine) Params() Params { return e.p }
 
+// NumShards reports the path-state cache shard count.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
 // state returns (computing if needed) the deterministic path state.
 func (e *Engine) state(a, b Endpoint) (*pathState, error) {
 	key := canonicalKey(a, b)
-	e.mu.RLock()
-	st, ok := e.base[key]
-	e.mu.RUnlock()
+	return e.stateByKey(key, hashPair(key))
+}
+
+// stateByKey is the cache lookup given a precomputed pair hash; Ping
+// reuses the hash it already needs for the per-ping RNG stream.
+func (e *Engine) stateByKey(key pairKey, h uint64) (*pathState, error) {
+	s := &e.shards[h&e.mask]
+	s.mu.RLock()
+	st, ok := s.base[key]
+	s.mu.RUnlock()
 	if ok {
 		return st, nil
 	}
@@ -105,9 +154,13 @@ func (e *Engine) state(a, b Endpoint) (*pathState, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.mu.Lock()
-	e.base[key] = st
-	e.mu.Unlock()
+	s.mu.Lock()
+	if prior, ok := s.base[key]; ok {
+		st = prior // a racing worker won; keep its pointer stable
+	} else {
+		s.base[key] = st
+	}
+	s.mu.Unlock()
 	return st, nil
 }
 
@@ -236,12 +289,13 @@ func diurnalFactor(t time.Time, amp, midLon float64) float64 {
 // whether a reply arrived at all. Swapping a and b yields a slightly
 // different value (path asymmetry) drawn from the same path state.
 func (e *Engine) Ping(a, b Endpoint, round, slot int, t time.Time) (time.Duration, bool, error) {
-	st, err := e.state(a, b)
+	key := canonicalKey(a, b)
+	hp := hashPair(key)
+	st, err := e.stateByKey(key, hp)
 	if err != nil {
 		return 0, false, err
 	}
-	key := canonicalKey(a, b)
-	h := hashPair(key) ^ uint64(round)<<32 ^ uint64(slot)<<16
+	h := hp ^ uint64(round)<<32 ^ uint64(slot)<<16
 	g := e.root.SplitN("ping", int(h))
 
 	if g.Bool(e.p.LossProb) {
@@ -274,9 +328,15 @@ func (e *Engine) Trace(a, b Endpoint) (*bgp.PopPath, error) {
 	return e.router.Expand(a.AS, a.City, b.AS, b.City)
 }
 
-// CachedPairs reports how many endpoint pairs have cached path state.
+// CachedPairs reports how many endpoint pairs have cached path state,
+// summed across shards.
 func (e *Engine) CachedPairs() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return len(e.base)
+	n := 0
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.RLock()
+		n += len(s.base)
+		s.mu.RUnlock()
+	}
+	return n
 }

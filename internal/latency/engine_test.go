@@ -309,6 +309,76 @@ func TestEngineDeterministicAcrossInstances(t *testing.T) {
 	}
 }
 
+func TestShardCountDoesNotAffectPings(t *testing.T) {
+	// The shard count is a pure concurrency knob: every count must price
+	// every pair and ping identically.
+	g := rng.New(7)
+	ds := apnic.Generate(g.Split("apnic"), apnic.DefaultParams(worlddata.CountryCodes()))
+	topo, err := topology.Generate(g, topology.SmallParams(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := bgp.New(topo)
+	eyes := topo.ASesOfType(topology.Eyeball)
+	at := time.Date(2017, 4, 22, 18, 0, 0, 0, time.UTC)
+
+	var engines []*Engine
+	for _, shards := range []int{1, 2, 8, 64} {
+		p := DefaultParams()
+		p.CacheShards = shards
+		engines = append(engines, New(router, p, rng.New(7)))
+	}
+	if got := engines[0].NumShards(); got != 1 {
+		t.Fatalf("NumShards = %d, want 1", got)
+	}
+	for i := 0; i < len(eyes)-1; i += 3 {
+		a := Endpoint{AS: eyes[i].ASN, City: eyes[i].HomeCity(), Access: 4 * time.Millisecond}
+		b := Endpoint{AS: eyes[i+1].ASN, City: eyes[i+1].HomeCity(), Access: 6 * time.Millisecond}
+		for slot := 0; slot < 3; slot++ {
+			ref, okRef, err := engines[0].Ping(a, b, 2, slot, at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range engines[1:] {
+				rtt, ok, err := e.Ping(a, b, 2, slot, at)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rtt != ref || ok != okRef {
+					t.Fatalf("shards=%d diverges: %v/%v vs %v/%v", e.NumShards(), rtt, ok, ref, okRef)
+				}
+			}
+		}
+	}
+	// Every engine priced the same pair set, however it is sharded.
+	want := engines[0].CachedPairs()
+	for _, e := range engines[1:] {
+		if got := e.CachedPairs(); got != want {
+			t.Fatalf("shards=%d cached %d pairs, want %d", e.NumShards(), got, want)
+		}
+	}
+}
+
+func TestShardCountRoundsUpToPowerOfTwo(t *testing.T) {
+	g := rng.New(3)
+	ds := apnic.Generate(g.Split("apnic"), apnic.DefaultParams(worlddata.CountryCodes()))
+	topo, err := topology.Generate(g, topology.SmallParams(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := bgp.New(topo)
+	for _, c := range []struct{ in, want int }{
+		{0, DefaultCacheShards}, {-4, DefaultCacheShards},
+		{1, 1}, {2, 2}, {3, 4}, {5, 8}, {33, 64},
+	} {
+		p := DefaultParams()
+		p.CacheShards = c.in
+		if got := New(router, p, rng.New(3)).NumShards(); got != c.want {
+			t.Fatalf("CacheShards=%d -> %d shards, want %d", c.in, got, c.want)
+		}
+	}
+}
+
 func TestOrderIndependence(t *testing.T) {
 	// Path state must not depend on which pair was priced first.
 	g1 := rng.New(9)

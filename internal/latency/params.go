@@ -56,6 +56,12 @@ type Params struct {
 	// AsymmetrySigma scales the direction-dependent RTT offset: the paper
 	// found ping direction changes the RTT by <5% in ~80% of pairs.
 	AsymmetrySigma float64
+
+	// CacheShards is the number of lock-striped shards of the engine's
+	// path-state cache, rounded up to a power of two; <= 0 selects
+	// DefaultCacheShards. Purely a concurrency knob: RTTs are identical
+	// for every value.
+	CacheShards int
 }
 
 // DefaultParams returns the calibrated model constants.

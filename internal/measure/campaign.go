@@ -4,6 +4,11 @@
 // pair, measures endpoint-relay legs, and stitches single-relay overlay
 // paths — all with 6 pings per pair per 30-minute window and
 // median-of-at-least-3 validity, under the Atlas credit budget.
+//
+// The campaign is a streaming producer: RunStream pushes each
+// Observation into a Sink the moment its round is stitched, so peak
+// memory is bounded by one round regardless of campaign length. Run is
+// the batch wrapper that collects the stream into a Results.
 package measure
 
 import (
@@ -11,6 +16,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"shortcuts/internal/atlas"
@@ -21,13 +27,27 @@ import (
 	"shortcuts/internal/sim"
 )
 
-// Run executes the campaign.
+// Run executes the campaign and materializes the full observation
+// stream in memory.
 func Run(w *sim.World, cfg Config) (*Results, error) {
+	res := NewResults(cfg, w)
+	if err := RunStream(w, cfg, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunStream executes the campaign, pushing observations and per-round
+// summaries into sink as each round completes. Equal seeds produce
+// bit-for-bit identical streams for any Concurrency and any engine
+// shard count: every stochastic draw derives from (seed, path identity,
+// round, slot), never from scheduling.
+func RunStream(w *sim.World, cfg Config, sink Sink) error {
 	if cfg.Rounds <= 0 {
-		return nil, fmt.Errorf("measure: Rounds must be positive")
+		return fmt.Errorf("measure: Rounds must be positive")
 	}
 	if cfg.PingsPerPair < cfg.MinValidPings {
-		return nil, fmt.Errorf("measure: PingsPerPair (%d) below MinValidPings (%d)",
+		return fmt.Errorf("measure: PingsPerPair (%d) below MinValidPings (%d)",
 			cfg.PingsPerPair, cfg.MinValidPings)
 	}
 	c := &campaign{
@@ -37,18 +57,14 @@ func Run(w *sim.World, cfg Config) (*Results, error) {
 		ledger: atlas.NewLedger(cfg.DailyCreditLimit),
 		dists:  cityDistances(w),
 	}
-	res := &Results{Config: cfg, World: w}
 	for round := 0; round < cfg.Rounds; round++ {
-		info, obs, err := c.runRound(round)
+		info, err := c.runRound(round, sink)
 		if err != nil {
-			return nil, fmt.Errorf("measure: round %d: %w", round, err)
+			return fmt.Errorf("measure: round %d: %w", round, err)
 		}
-		res.Rounds = append(res.Rounds, info)
-		res.Observations = append(res.Observations, obs...)
-		res.TotalPings += info.PingsSent
-		res.PairsAttempted += c.pairsAttempted
+		sink.RoundDone(info)
 	}
-	return res, nil
+	return nil
 }
 
 type campaign struct {
@@ -57,8 +73,6 @@ type campaign struct {
 	g      *rng.Rand
 	ledger *atlas.Ledger
 	dists  [][]float64 // city-city great-circle km
-
-	pairsAttempted int // per round, read back by Run
 }
 
 // cityDistances precomputes the distance matrix used by the feasibility
@@ -78,13 +92,7 @@ func cityDistances(w *sim.World) [][]float64 {
 	return m
 }
 
-// legKey identifies one endpoint-relay leg within a round.
-type legKey struct {
-	probe atlas.ProbeID
-	relay int
-}
-
-func (c *campaign) runRound(round int) (RoundInfo, []Observation, error) {
+func (c *campaign) runRound(round int, sink Sink) (RoundInfo, error) {
 	start := c.cfg.Start.Add(time.Duration(round) * c.cfg.RoundInterval)
 	info := RoundInfo{Round: round, Start: start}
 
@@ -105,6 +113,7 @@ func (c *campaign) runRound(round int) (RoundInfo, []Observation, error) {
 		roundRelays = append(roundRelays, relaySet.ByType[t]...)
 	}
 	sort.Ints(roundRelays)
+	nr := len(roundRelays)
 
 	// Mid-window outages: probes were selected as responsive, but some
 	// stop answering during the 30-minute window. Pairs (and legs)
@@ -113,12 +122,12 @@ func (c *campaign) runRound(round int) (RoundInfo, []Observation, error) {
 	for i, p := range endpoints {
 		windowUp[i] = c.w.Atlas.WindowUp(p.ID, round)
 	}
-	relayUp := make(map[int]bool, len(roundRelays))
-	for _, ri := range roundRelays {
+	relayUp := make([]bool, nr)
+	for pos, ri := range roundRelays {
 		r := &c.w.Catalog.Relays[ri]
 		// RAR relays are probes with the same outage process; COR router
 		// interfaces and PLR nodes were liveness-checked at sampling.
-		relayUp[ri] = r.ProbeID == 0 || c.w.Atlas.WindowUp(r.ProbeID, round)
+		relayUp[pos] = r.ProbeID == 0 || c.w.Atlas.WindowUp(r.ProbeID, round)
 	}
 
 	// Step 2: direct paths, both directions.
@@ -129,107 +138,91 @@ func (c *campaign) runRound(round int) (RoundInfo, []Observation, error) {
 			pairs = append(pairs, pairIdx{i, j})
 		}
 	}
-	c.pairsAttempted = len(pairs)
+	info.PairsAttempted = len(pairs)
 
 	fwd := make([]float32, len(pairs))
 	rev := make([]float32, len(pairs))
-	var pings int64
-	var pingsMu sync.Mutex
-	err := c.parallel(len(pairs), func(k int) error {
+	var pings atomic.Int64
+	err := c.parallel(len(pairs), func(s *scratch, k int) error {
 		if !windowUp[pairs[k].i] || !windowUp[pairs[k].j] {
-			pingsMu.Lock()
-			pings += int64(2 * c.cfg.PingsPerPair) // pings sent, unanswered
-			pingsMu.Unlock()
+			pings.Add(int64(2 * c.cfg.PingsPerPair)) // pings sent, unanswered
 			return nil
 		}
 		a, b := endpoints[pairs[k].i], endpoints[pairs[k].j]
-		mf, nf, err := c.medianRTT(a.Endpoint(), b.Endpoint(), round, start)
+		mf, nf, err := c.medianRTT(s, a.Endpoint(), b.Endpoint(), round, start)
 		if err != nil {
 			return err
 		}
-		mr, nr, err := c.medianRTT(b.Endpoint(), a.Endpoint(), round, start)
+		mr, nrev, err := c.medianRTT(s, b.Endpoint(), a.Endpoint(), round, start)
 		if err != nil {
 			return err
 		}
 		fwd[k], rev[k] = mf, mr
-		pingsMu.Lock()
-		pings += int64(nf + nr)
-		pingsMu.Unlock()
+		pings.Add(int64(nf + nrev))
 		return nil
 	})
 	if err != nil {
-		return info, nil, err
+		return info, err
 	}
 
-	// Step 3 (feasibility half): relays worth measuring per pair, and the
-	// union of endpoint-relay legs needed.
-	feasible := make([][]int, len(pairs)) // relay catalog indices per pair
-	neededLegs := make(map[legKey]bool)
+	// Step 3 (feasibility half): relays worth measuring per pair, and
+	// the union of endpoint-relay legs needed. Legs are tracked in a
+	// flat (endpoint index × relay position) array instead of a keyed
+	// map: the round's leg universe is dense and small, and index math
+	// is contention-free for the worker pool below.
+	feasible := make([][]int32, len(pairs)) // relay positions per pair
+	needLeg := make([]bool, len(endpoints)*nr)
 	for k, p := range pairs {
 		if fwd[k] == 0 {
 			continue // unresponsive pair: no relay measurements either
 		}
 		a, b := endpoints[p.i], endpoints[p.j]
 		directRTT := time.Duration(float64(fwd[k]) * float64(time.Millisecond))
-		for _, ri := range roundRelays {
+		for pos, ri := range roundRelays {
 			r := &c.w.Catalog.Relays[ri]
 			if c.feasible(a.City, r.City, b.City, directRTT) {
-				feasible[k] = append(feasible[k], ri)
-				if relayUp[ri] {
-					neededLegs[legKey{a.ID, ri}] = true
-					neededLegs[legKey{b.ID, ri}] = true
+				feasible[k] = append(feasible[k], int32(pos))
+				if relayUp[pos] {
+					needLeg[p.i*nr+pos] = true
+					needLeg[p.j*nr+pos] = true
 				}
 			}
 		}
 	}
 
-	// Step 4 (legs): measure each needed endpoint-relay pair once.
-	legKeys := make([]legKey, 0, len(neededLegs))
-	for k := range neededLegs {
-		legKeys = append(legKeys, k)
-	}
-	sort.Slice(legKeys, func(i, j int) bool {
-		if legKeys[i].probe != legKeys[j].probe {
-			return legKeys[i].probe < legKeys[j].probe
+	// Step 4 (legs): measure each needed endpoint-relay pair once. The
+	// ascending flat index yields a deterministic job order.
+	legJobs := make([]int32, 0, len(endpoints)*nr/4)
+	for idx, need := range needLeg {
+		if need {
+			legJobs = append(legJobs, int32(idx))
 		}
-		return legKeys[i].relay < legKeys[j].relay
-	})
-	epByID := make(map[atlas.ProbeID]*atlas.Probe, len(endpoints))
-	for _, p := range endpoints {
-		epByID[p.ID] = p
 	}
-	legVals := make([]float32, len(legKeys))
-	err = c.parallel(len(legKeys), func(k int) error {
-		lk := legKeys[k]
-		probe := epByID[lk.probe]
-		relay := &c.w.Catalog.Relays[lk.relay]
-		m, n, err := c.medianRTT(probe.Endpoint(), relay.Endpoint, round, start)
+	legVals := make([]float32, len(endpoints)*nr)
+	err = c.parallel(len(legJobs), func(s *scratch, k int) error {
+		idx := int(legJobs[k])
+		probe := endpoints[idx/nr]
+		relay := &c.w.Catalog.Relays[roundRelays[idx%nr]]
+		m, n, err := c.medianRTT(s, probe.Endpoint(), relay.Endpoint, round, start)
 		if err != nil {
 			return err
 		}
-		legVals[k] = m
-		pingsMu.Lock()
-		pings += int64(n)
-		pingsMu.Unlock()
+		legVals[idx] = m
+		pings.Add(int64(n))
 		return nil
 	})
 	if err != nil {
-		return info, nil, err
-	}
-	legs := make(map[legKey]float32, len(legKeys))
-	for k, lk := range legKeys {
-		legs[lk] = legVals[k]
+		return info, err
 	}
 
 	// Credits: all pings of this round land on its calendar day.
 	day := int(start.Sub(c.cfg.Start).Hours() / 24)
-	if err := c.ledger.Spend(day, pings*atlas.PingCost); err != nil {
-		return info, nil, err
+	if err := c.ledger.Spend(day, pings.Load()*atlas.PingCost); err != nil {
+		return info, err
 	}
-	info.PingsSent = pings
+	info.PingsSent = pings.Load()
 
-	// Step 4 (stitching): build observations.
-	obs := make([]Observation, 0, len(pairs))
+	// Step 4 (stitching): build and emit observations, in pair order.
 	for k, p := range pairs {
 		if fwd[k] == 0 {
 			continue
@@ -246,15 +239,16 @@ func (c *campaign) runRound(round int) (RoundInfo, []Observation, error) {
 		for t := 0; t < relays.NumTypes; t++ {
 			o.BestRelay[t] = -1
 		}
-		for _, ri := range feasible[k] {
+		for _, pos := range feasible[k] {
+			ri := roundRelays[pos]
 			r := &c.w.Catalog.Relays[ri]
 			o.FeasibleCount[r.Type]++
-			if !relayUp[ri] {
+			if !relayUp[pos] {
 				continue
 			}
-			la, okA := legs[legKey{a.ID, ri}]
-			lb, okB := legs[legKey{b.ID, ri}]
-			if !okA || !okB || la == 0 || lb == 0 {
+			la := legVals[p.i*nr+int(pos)]
+			lb := legVals[p.j*nr+int(pos)]
+			if la == 0 || lb == 0 {
 				continue // a leg had too few valid replies
 			}
 			stitched := la + lb
@@ -267,10 +261,10 @@ func (c *campaign) runRound(round int) (RoundInfo, []Observation, error) {
 				o.Improving = append(o.Improving, ImproveEntry{Relay: uint16(ri), RelayedMs: stitched})
 			}
 		}
-		obs = append(obs, o)
+		sink.Emit(o)
 		info.PairsUsable++
 	}
-	return info, obs, nil
+	return info, nil
 }
 
 // feasible applies the Section-2.4 speed-of-light filter using the
@@ -288,11 +282,21 @@ func (c *campaign) continentOf(p *atlas.Probe) string {
 	return c.w.Topo.Cities[p.City].Continent
 }
 
+// scratch is per-worker reusable state: medianRTT is called millions of
+// times per campaign, so its sample buffer must not be reallocated per
+// pair.
+type scratch struct {
+	vals []float64
+}
+
 // medianRTT sends the round's ping train from a to b and returns the
 // median in milliseconds (0 when fewer than MinValidPings replies
 // arrived) plus the number of pings sent.
-func (c *campaign) medianRTT(a, b latency.Endpoint, round int, windowStart time.Time) (float32, int, error) {
-	vals := make([]float64, 0, c.cfg.PingsPerPair)
+func (c *campaign) medianRTT(s *scratch, a, b latency.Endpoint, round int, windowStart time.Time) (float32, int, error) {
+	if cap(s.vals) < c.cfg.PingsPerPair {
+		s.vals = make([]float64, 0, c.cfg.PingsPerPair)
+	}
+	vals := s.vals[:0]
 	for slot := 0; slot < c.cfg.PingsPerPair; slot++ {
 		at := windowStart.Add(time.Duration(slot) * c.cfg.PingInterval)
 		rtt, ok, err := c.w.Engine.Ping(a, b, round, slot, at)
@@ -317,9 +321,9 @@ func (c *campaign) medianRTT(a, b latency.Endpoint, round int, windowStart time.
 	return float32(med), c.cfg.PingsPerPair, nil
 }
 
-// parallel runs fn over [0, n) with the configured worker count,
-// propagating the first error.
-func (c *campaign) parallel(n int, fn func(int) error) error {
+// parallel runs fn over [0, n) with the configured worker count, each
+// worker carrying its own scratch, propagating the first error.
+func (c *campaign) parallel(n int, fn func(s *scratch, i int) error) error {
 	workers := c.cfg.Concurrency
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -328,8 +332,9 @@ func (c *campaign) parallel(n int, fn func(int) error) error {
 		workers = n
 	}
 	if workers <= 1 {
+		var s scratch
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(&s, i); err != nil {
 				return err
 			}
 		}
@@ -337,29 +342,30 @@ func (c *campaign) parallel(n int, fn func(int) error) error {
 	}
 	var (
 		wg    sync.WaitGroup
-		mu    sync.Mutex
-		next  int
+		next  atomic.Int64
+		errMu sync.Mutex
 		first error
 	)
+	fail := func(err error) {
+		errMu.Lock()
+		if first == nil {
+			first = err
+			next.Store(int64(n)) // stop dispatching
+		}
+		errMu.Unlock()
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var s scratch
 			for {
-				mu.Lock()
-				if first != nil || next >= n {
-					mu.Unlock()
+				i := next.Add(1) - 1
+				if i >= int64(n) {
 					return
 				}
-				i := next
-				next++
-				mu.Unlock()
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if first == nil {
-						first = err
-					}
-					mu.Unlock()
+				if err := fn(&s, int(i)); err != nil {
+					fail(err)
 					return
 				}
 			}

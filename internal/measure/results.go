@@ -70,9 +70,14 @@ type RoundInfo struct {
 	RelayCounts [relays.NumTypes]int
 	PingsSent   int64
 	PairsUsable int // endpoint pairs with a valid direct median
+	// PairsAttempted counts endpoint pairs whose direct path was
+	// measured this round, before the >=3-replies validity cut.
+	PairsAttempted int
 }
 
-// Results is the full campaign output.
+// Results is the full campaign output. It is itself a Sink: Run wires
+// it to RunStream, and callers composing their own sink stacks can tee
+// into a Results to keep the slice-backed analyses available.
 type Results struct {
 	Config       Config
 	World        *sim.World
@@ -83,6 +88,25 @@ type Results struct {
 	// measured (before the >=3-replies validity cut); the ratio
 	// usable/attempted reproduces the paper's ~84% responsiveness.
 	PairsAttempted int
+}
+
+// NewResults returns an empty Results ready to collect a campaign
+// stream for the given configuration.
+func NewResults(cfg Config, w *sim.World) *Results {
+	return &Results{Config: cfg, World: w}
+}
+
+// Emit implements Sink by appending the observation.
+func (r *Results) Emit(o Observation) {
+	r.Observations = append(r.Observations, o)
+}
+
+// RoundDone implements Sink by recording the round summary and rolling
+// its counters into the campaign totals.
+func (r *Results) RoundDone(info RoundInfo) {
+	r.Rounds = append(r.Rounds, info)
+	r.TotalPings += info.PingsSent
+	r.PairsAttempted += info.PairsAttempted
 }
 
 // ResponsiveFraction returns the share of attempted pairs that yielded a

@@ -1,0 +1,30 @@
+package measure
+
+// Sink receives campaign output incrementally as the campaign runs,
+// instead of materializing every Observation in one slice. Emit is
+// called once per usable pair observation, in deterministic (pair)
+// order; RoundDone is called once after all of a round's observations
+// have been emitted. Both are always invoked from a single goroutine,
+// so implementations need no locking of their own.
+type Sink interface {
+	Emit(o Observation)
+	RoundDone(info RoundInfo)
+}
+
+// MultiSink fans one observation stream out to several sinks, invoking
+// them in argument order.
+func MultiSink(sinks ...Sink) Sink { return multiSink(sinks) }
+
+type multiSink []Sink
+
+func (m multiSink) Emit(o Observation) {
+	for _, s := range m {
+		s.Emit(o)
+	}
+}
+
+func (m multiSink) RoundDone(info RoundInfo) {
+	for _, s := range m {
+		s.RoundDone(info)
+	}
+}

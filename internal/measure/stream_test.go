@@ -1,0 +1,187 @@
+package measure
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"shortcuts/internal/relays"
+	"shortcuts/internal/sim"
+)
+
+// equalResults compares everything a campaign measured, ignoring the
+// world/config references.
+func equalResults(t *testing.T, label string, a, b *Results) {
+	t.Helper()
+	if a.TotalPings != b.TotalPings {
+		t.Fatalf("%s: TotalPings %d vs %d", label, a.TotalPings, b.TotalPings)
+	}
+	if a.PairsAttempted != b.PairsAttempted {
+		t.Fatalf("%s: PairsAttempted %d vs %d", label, a.PairsAttempted, b.PairsAttempted)
+	}
+	if !reflect.DeepEqual(a.Rounds, b.Rounds) {
+		t.Fatalf("%s: round summaries differ", label)
+	}
+	if len(a.Observations) != len(b.Observations) {
+		t.Fatalf("%s: %d vs %d observations", label, len(a.Observations), len(b.Observations))
+	}
+	for i := range a.Observations {
+		if !reflect.DeepEqual(a.Observations[i], b.Observations[i]) {
+			t.Fatalf("%s: observation %d differs:\n%+v\nvs\n%+v",
+				label, i, a.Observations[i], b.Observations[i])
+		}
+	}
+}
+
+// TestBitIdenticalAcrossConcurrencyAndShards is the determinism
+// contract of the streaming refactor: the same seed must produce
+// bit-for-bit identical results for every worker count and every
+// engine cache shard count.
+func TestBitIdenticalAcrossConcurrencyAndShards(t *testing.T) {
+	var ref *Results
+	for _, shards := range []int{1, 8} {
+		wp := sim.SmallWorldParams(11)
+		wp.Latency.CacheShards = shards
+		w, err := sim.Build(wp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := w.Engine.NumShards(); got != shards {
+			t.Fatalf("engine has %d shards, want %d", got, shards)
+		}
+		for _, conc := range []int{1, 8} {
+			cfg := QuickConfig(2)
+			cfg.Concurrency = conc
+			res, err := Run(w, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			equalResults(t, fmt.Sprintf("shards=%d conc=%d", shards, conc), ref, res)
+		}
+	}
+	if ref == nil || len(ref.Observations) == 0 {
+		t.Fatal("campaign produced no observations")
+	}
+}
+
+// TestRunStreamMatchesRun pins Run as a thin wrapper: streaming into a
+// fresh Results reproduces Run's output exactly.
+func TestRunStreamMatchesRun(t *testing.T) {
+	w, batch := testCampaign(t)
+	cfg := QuickConfig(3)
+	streamed := NewResults(cfg, w)
+	if err := RunStream(w, cfg, streamed); err != nil {
+		t.Fatal(err)
+	}
+	equalResults(t, "stream vs batch", batch, streamed)
+}
+
+// TestStreamStatsMatchesBatch verifies the incremental aggregates
+// against the same statistics computed from materialized observations.
+func TestStreamStatsMatchesBatch(t *testing.T) {
+	w, res := testCampaign(t)
+	stats := NewStreamStats()
+	if err := RunStream(w, QuickConfig(3), stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pairs() != len(res.Observations) {
+		t.Fatalf("stream pairs %d vs batch %d", stats.Pairs(), len(res.Observations))
+	}
+	if stats.Rounds() != len(res.Rounds) {
+		t.Fatalf("stream rounds %d vs batch %d", stats.Rounds(), len(res.Rounds))
+	}
+	if stats.TotalPings() != res.TotalPings {
+		t.Fatalf("stream pings %d vs batch %d", stats.TotalPings(), res.TotalPings)
+	}
+	if stats.PairsAttempted() != res.PairsAttempted {
+		t.Fatalf("stream attempted %d vs batch %d", stats.PairsAttempted(), res.PairsAttempted)
+	}
+	if got, want := stats.ResponsiveFraction(), res.ResponsiveFraction(); got != want {
+		t.Fatalf("responsive fraction %v vs %v", got, want)
+	}
+	if got, want := stats.RelayedPathsStudied(), res.RelayedPathsStudied(); got != want {
+		t.Fatalf("relayed paths %d vs %d", got, want)
+	}
+	for ty := 0; ty < relays.NumTypes; ty++ {
+		improved := 0
+		for i := range res.Observations {
+			if res.Observations[i].ImprovementMs(relays.Type(ty)) > 0 {
+				improved++
+			}
+		}
+		want := float64(improved) / float64(len(res.Observations))
+		if got := stats.ImprovedFraction(relays.Type(ty)); got != want {
+			t.Fatalf("type %v improved fraction %v vs batch %v", relays.Type(ty), got, want)
+		}
+		med := stats.MedianImprovementMs(relays.Type(ty))
+		if improved > 0 && med <= 0 {
+			t.Fatalf("type %v has improved cases but zero median", relays.Type(ty))
+		}
+	}
+}
+
+// TestStreamStatsCDFMonotone checks the streaming CDF's shape: it must
+// be non-decreasing, start at the non-improved fraction and reach 1.
+func TestStreamStatsCDFMonotone(t *testing.T) {
+	w, _ := testCampaign(t)
+	stats := NewStreamStats()
+	if err := RunStream(w, QuickConfig(3), stats); err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]float64, 0, 101)
+	for x := 0.0; x <= 1000; x += 10 {
+		xs = append(xs, x)
+	}
+	for ty := 0; ty < relays.NumTypes; ty++ {
+		ys := stats.ImprovementCDF(relays.Type(ty), xs)
+		floor := 1 - stats.ImprovedFraction(relays.Type(ty))
+		if ys[0] < floor-1e-12 {
+			t.Fatalf("type %v CDF(0) = %v below non-improved floor %v", relays.Type(ty), ys[0], floor)
+		}
+		for i := 1; i < len(ys); i++ {
+			if ys[i] < ys[i-1] {
+				t.Fatalf("type %v CDF decreases at x=%v", relays.Type(ty), xs[i])
+			}
+		}
+		if ys[len(ys)-1] < 0.999 {
+			t.Fatalf("type %v CDF tops out at %v", relays.Type(ty), ys[len(ys)-1])
+		}
+	}
+}
+
+// TestMultiSinkFansOut checks that MultiSink delivers the identical
+// stream to every sink, in order.
+func TestMultiSinkFansOut(t *testing.T) {
+	w, _ := testCampaign(t)
+	cfg := QuickConfig(2)
+	r1 := NewResults(cfg, w)
+	r2 := NewResults(cfg, w)
+	if err := RunStream(w, cfg, MultiSink(r1, r2)); err != nil {
+		t.Fatal(err)
+	}
+	equalResults(t, "multisink", r1, r2)
+	if len(r1.Observations) == 0 {
+		t.Fatal("no observations streamed")
+	}
+}
+
+// TestEmptySinkStillCounts runs a campaign into a pure aggregate sink
+// and checks the round summaries carry the attempt counters the batch
+// path previously tracked internally.
+func TestEmptySinkStillCounts(t *testing.T) {
+	w, _ := testCampaign(t)
+	stats := NewStreamStats()
+	if err := RunStream(w, QuickConfig(1), stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.PairsAttempted() <= 0 {
+		t.Fatal("round summaries missing PairsAttempted")
+	}
+	if rf := stats.ResponsiveFraction(); rf < 0.5 || rf > 1 {
+		t.Fatalf("responsive fraction %v out of range", rf)
+	}
+}

@@ -53,12 +53,13 @@ func TwoRelayExperiment(w *sim.World, cfg Config, round, maxPairs, maxRelays int
 	}
 
 	// Endpoint-relay legs.
+	var s scratch
 	type legRow = []float32
 	legs := make(map[int]legRow, len(endpoints)) // endpoint idx -> per relay
 	for ei, p := range endpoints {
 		row := make(legRow, len(corIdxs))
 		for k, ri := range corIdxs {
-			m, _, err := c.medianRTT(p.Endpoint(), w.Catalog.Relays[ri].Endpoint, round, start)
+			m, _, err := c.medianRTT(&s, p.Endpoint(), w.Catalog.Relays[ri].Endpoint, round, start)
 			if err != nil {
 				return TwoRelayResult{}, err
 			}
@@ -73,7 +74,7 @@ func TwoRelayExperiment(w *sim.World, cfg Config, round, maxPairs, maxRelays int
 	}
 	for a := 0; a < len(corIdxs); a++ {
 		for b := a + 1; b < len(corIdxs); b++ {
-			m, _, err := c.medianRTT(w.Catalog.Relays[corIdxs[a]].Endpoint,
+			m, _, err := c.medianRTT(&s, w.Catalog.Relays[corIdxs[a]].Endpoint,
 				w.Catalog.Relays[corIdxs[b]].Endpoint, round, start)
 			if err != nil {
 				return TwoRelayResult{}, err

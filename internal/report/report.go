@@ -70,6 +70,12 @@ func CSV(w io.Writer, headers []string, rows [][]string) error {
 // allTypes is the rendering order used throughout.
 var allTypes = []relays.Type{relays.COR, relays.PLR, relays.RAROther, relays.RAREye}
 
+// paperImprovedPct holds the paper's Figure-2 headline improved
+// percentages, shown next to this run's in both summary renderers.
+var paperImprovedPct = map[relays.Type]string{
+	relays.COR: "76", relays.RAROther: "58", relays.PLR: "43", relays.RAREye: "35",
+}
+
 // Fig1 renders the eyeball cutoff curve (number of ASes and countries vs
 // user-coverage cutoff) as CSV.
 func Fig1(w io.Writer, ds *apnic.Dataset) error {
@@ -203,14 +209,11 @@ func check(b bool) string {
 // Summary renders the headline numbers with their paper counterparts.
 func Summary(w io.Writer, res *measure.Results) error {
 	rows := [][]string{}
-	paper := map[relays.Type]string{
-		relays.COR: "76", relays.RAROther: "58", relays.PLR: "43", relays.RAREye: "35",
-	}
 	for _, t := range allTypes {
 		rows = append(rows, []string{
 			t.String(),
 			fmt.Sprintf("%.1f", analysis.ImprovedFraction(res, t)*100),
-			paper[t],
+			paperImprovedPct[t],
 			fmt.Sprintf("%.1f", analysis.MedianImprovementMs(res, t)),
 			fmt.Sprintf("%.1f", analysis.ImprovedOverFraction(res, t, 100)*100),
 			fmt.Sprintf("%.0f", analysis.RelayRedundancyMedian(res, t)),
@@ -240,6 +243,32 @@ func Summary(w io.Writer, res *measure.Results) error {
 	n, facs := analysis.RelaysForCoverage(res, relays.COR, 0.75)
 	fmt.Fprintf(w, "75%% of COR coverage: %d relays in %d facilities (paper: 10 relays, 6 colos)\n",
 		n, len(facs))
+	return nil
+}
+
+// StreamSummary renders the headline numbers available from the
+// incremental stream aggregates — the subset of Summary that needs no
+// materialized observations.
+func StreamSummary(w io.Writer, s *measure.StreamStats) error {
+	rows := [][]string{}
+	for _, t := range allTypes {
+		rows = append(rows, []string{
+			t.String(),
+			fmt.Sprintf("%.1f", s.ImprovedFraction(t)*100),
+			paperImprovedPct[t],
+			fmt.Sprintf("%.1f", s.MedianImprovementMs(t)),
+			fmt.Sprintf("%.1f", s.ImprovedOverFraction(t, 100)*100),
+		})
+	}
+	if err := Table(w, []string{
+		"type", "improved %", "paper %", "median gain ms", ">100ms % of improved",
+	}, rows); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\npairs: %d over %d rounds, %d pings, responsive %.0f%% (paper ~84%%)\n",
+		s.Pairs(), s.Rounds(), s.TotalPings(), s.ResponsiveFraction()*100)
+	fmt.Fprintf(w, "relayed paths studied: %d (paper ~29M at full scale)\n", s.RelayedPathsStudied())
+	fmt.Fprintf(w, "intercontinental pairs: %.0f%% (paper 74%%)\n", s.IntercontinentalFraction()*100)
 	return nil
 }
 

@@ -98,13 +98,13 @@ func NewCampaign(cfg Config) (*Campaign, error) {
 	return &Campaign{inner: inner}, nil
 }
 
-// Run executes the measurement campaign and returns its results.
+// Run executes the measurement campaign and returns its results. It is
+// a thin wrapper over the streaming executor: observations stream
+// through a Results sink. Use RunStream to process campaigns whose
+// observation set should not be materialized, or RunWithProgress for
+// per-round progress.
 func (c *Campaign) Run() (*Results, error) {
-	res, err := c.inner.Run()
-	if err != nil {
-		return nil, err
-	}
-	return &Results{res: res}, nil
+	return c.RunWithProgress(nil)
 }
 
 // Funnel describes the COR selection pipeline counts (Section 2.2; the
