@@ -46,16 +46,31 @@ func benchResults(b *testing.B) (*sim.World, *measure.Results) {
 }
 
 // BenchmarkWorldBuild times constructing the entire synthetic world:
-// datasets, topology, routing, platforms and the COR pipeline.
+// datasets, topology, routing, platforms and the COR pipeline. The
+// sequential/parallel pair isolates the staged-DAG speedup (identical
+// work, different schedule; the gap needs real cores to show), and
+// parallel-warm adds the BGP tree precompute campaigns would otherwise
+// pay at round 0.
 func BenchmarkWorldBuild(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		w, err := sim.Build(sim.DefaultWorldParams(1))
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(w.Catalog.Relays) == 0 {
-			b.Fatal("empty catalog")
-		}
+	for _, bc := range []struct {
+		name string
+		opts sim.BuildOptions
+	}{
+		{"sequential", sim.BuildOptions{Workers: 1}},
+		{"parallel", sim.BuildOptions{Workers: 0}},
+		{"parallel-warm", sim.BuildOptions{Workers: 0, WarmRoutes: true}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w, err := sim.BuildWith(sim.DefaultWorldParams(1), bc.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(w.Catalog.Relays) == 0 {
+					b.Fatal("empty catalog")
+				}
+			}
+		})
 	}
 }
 

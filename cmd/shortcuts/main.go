@@ -5,6 +5,11 @@
 // ranking, the COR pipeline funnel, and the in-text statistics. Figures
 // are written as CSV files when -out is given; tables and the summary go
 // to stdout.
+//
+// The world is built once — staged, in parallel, BGP routes pre-warmed —
+// and campaigns attach to it. With -seeds the command becomes a sweep:
+// one campaign per seed over the single shared world, reporting each
+// seed's headline numbers side by side.
 package main
 
 import (
@@ -12,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"shortcuts"
@@ -24,26 +31,41 @@ func main() {
 		small  = flag.Bool("small", false, "use the reduced world for a fast run")
 		out    = flag.String("out", "", "directory for figure CSVs (omit to skip)")
 		stream = flag.Bool("stream", false, "streaming mode: constant-memory aggregates, no per-observation tables")
+		seeds  = flag.String("seeds", "", "comma-separated campaign seeds: sweep them all over ONE shared world (sweeps always run in streaming mode, so -stream is implied)")
+		par    = flag.Int("parallel", 1, "campaigns running concurrently in a -seeds sweep")
 	)
 	flag.Parse()
 	if *stream && *out != "" {
 		fatal(fmt.Errorf("-out requires materialized observations; drop -stream to write figure CSVs"))
 	}
+	if *seeds != "" && *out != "" {
+		fatal(fmt.Errorf("-out applies to a single campaign; drop -seeds to write figure CSVs"))
+	}
 
 	cfg := shortcuts.Config{Seed: *seed, Rounds: *rounds, SmallWorld: *small}
 	start := time.Now()
-	campaign, err := shortcuts.NewCampaign(cfg)
+	world, err := shortcuts.BuildWorld(cfg)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("world built in %v (seed %d)\n\n", time.Since(start).Round(time.Millisecond), *seed)
 
 	fmt.Println("== COR selection pipeline (Section 2.2) ==")
-	f := campaign.Funnel()
+	f := world.Funnel()
 	fmt.Printf("%d -> %d -> %d -> %d -> %d -> %d  (paper: 2675 -> 1008 -> 764 -> 725 -> 725 -> 356)\n",
 		f.Initial, f.SingleFacilityActive, f.Pingable, f.SameOwnership,
 		f.ActiveFacilityPresence, f.Geolocated)
 	fmt.Printf("%d facilities in %d cities (paper: 58 in 36)\n\n", f.Facilities, f.Cities)
+
+	if *seeds != "" {
+		runSweep(world, cfg, *seeds, *par)
+		return
+	}
+
+	campaign, err := shortcuts.NewCampaignWith(world, cfg)
+	if err != nil {
+		fatal(err)
+	}
 
 	progress := func(ri shortcuts.RoundInfo) {
 		fmt.Printf("round %d/%d: %d endpoints, %d/%d pairs usable, %d pings\n",
@@ -101,14 +123,54 @@ func main() {
 	}
 
 	if *out != "" {
-		if err := writeFigures(campaign, res, *out); err != nil {
+		if err := writeFigures(world, res, *out); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("\nfigure CSVs written to %s\n", *out)
 	}
 }
 
-func writeFigures(c *shortcuts.Campaign, r *shortcuts.Results, dir string) error {
+// runSweep fans one campaign per seed over the shared world and prints
+// each seed's headline numbers side by side — the multi-experiment
+// workload the shared-world architecture exists for.
+func runSweep(world *shortcuts.World, cfg shortcuts.Config, seedList string, parallel int) {
+	var seeds []int64
+	for _, s := range strings.Split(seedList, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -seeds entry %q: %w", s, err))
+		}
+		seeds = append(seeds, v)
+	}
+
+	start := time.Now()
+	results, err := shortcuts.Sweep{
+		Config:      cfg,
+		Seeds:       seeds,
+		World:       world,
+		Parallelism: parallel,
+	}.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("sweep: %d campaigns x %d rounds over one shared world in %v\n\n",
+		len(seeds), cfg.Rounds, time.Since(start).Round(time.Millisecond))
+
+	fmt.Printf("%8s %10s %12s", "seed", "pairs", "pings")
+	for _, ty := range shortcuts.RelayTypes() {
+		fmt.Printf(" %10s", ty)
+	}
+	fmt.Println()
+	for _, r := range results {
+		fmt.Printf("%8d %10d %12d", r.Seed, r.Stats.Pairs(), r.Stats.TotalPings())
+		for _, ty := range shortcuts.RelayTypes() {
+			fmt.Printf(" %9.1f%%", 100*r.Stats.ImprovedFraction(ty))
+		}
+		fmt.Println()
+	}
+}
+
+func writeFigures(w *shortcuts.World, r *shortcuts.Results, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -121,7 +183,7 @@ func writeFigures(c *shortcuts.Campaign, r *shortcuts.Results, dir string) error
 		return fn(f)
 	}
 	if err := write("fig1_eyeball_cutoff.csv", func(f *os.File) error {
-		return c.WriteFig1CSV(f)
+		return w.WriteFig1CSV(f)
 	}); err != nil {
 		return err
 	}

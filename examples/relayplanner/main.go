@@ -18,7 +18,14 @@ func main() {
 	budget := flag.Int("budget", 10, "number of relays the operator can deploy")
 	flag.Parse()
 
-	campaign, err := shortcuts.NewCampaign(shortcuts.QuickConfig(4))
+	// The deployment plan comes from one campaign; the shared world lets
+	// the stability check below re-measure the same geography under
+	// different campaign seeds without rebuilding anything.
+	world, err := shortcuts.BuildWorld(shortcuts.Config{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	campaign, err := shortcuts.NewCampaignWith(world, shortcuts.Config{Seed: 1, Rounds: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,5 +72,23 @@ func main() {
 		rank++
 		fmt.Printf("  %2d. %-30s %-12s (%d nets, %d IXPs on site)\n",
 			rank, row.Name, row.City, row.ListedNets, row.IXPs)
+	}
+
+	// Stability check: re-measure the same world under two more campaign
+	// seeds. Coverage that survives different measurement schedules is a
+	// property of the facilities, not of one lucky sample.
+	sweep, err := shortcuts.Sweep{
+		Config: shortcuts.Config{Rounds: 4},
+		Seeds:  []int64{2, 3},
+		World:  world,
+	}.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nCOR coverage across measurement schedules (same world):")
+	fmt.Printf("  campaign seed 1: %5.1f%% of pairs improved\n", 100*res.ImprovedFraction(shortcuts.COR))
+	for _, r := range sweep {
+		fmt.Printf("  campaign seed %d: %5.1f%% of pairs improved\n",
+			r.Seed, 100*r.Stats.ImprovedFraction(shortcuts.COR))
 	}
 }

@@ -18,7 +18,13 @@ func main() {
 	ccB := flag.String("b", "JP", "second endpoint country (ISO code)")
 	flag.Parse()
 
-	campaign, err := shortcuts.NewCampaign(shortcuts.QuickConfig(6))
+	// Build the world once; the corridor inspection below and any
+	// follow-up campaigns (other seeds, other corridors) share it.
+	world, err := shortcuts.BuildWorld(shortcuts.Config{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	campaign, err := shortcuts.NewCampaignWith(world, shortcuts.Config{Seed: 1, Rounds: 6})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,7 +14,13 @@ import (
 )
 
 func main() {
-	campaign, err := shortcuts.NewCampaign(shortcuts.QuickConfig(4))
+	// One shared world backs both the call-path measurement and the
+	// facility ranking; further what-if campaigns would reuse it too.
+	world, err := shortcuts.BuildWorld(shortcuts.Config{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	campaign, err := shortcuts.NewCampaignWith(world, shortcuts.Config{Seed: 1, Rounds: 4})
 	if err != nil {
 		log.Fatal(err)
 	}

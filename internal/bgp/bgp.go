@@ -14,9 +14,10 @@
 package bgp
 
 import (
-	"container/heap"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"shortcuts/internal/topology"
 )
@@ -53,14 +54,27 @@ func (c RouteClass) String() string {
 
 // Router computes and caches valley-free routes over a topology. It is
 // safe for concurrent use; per-destination routing trees are computed
-// lazily and memoised.
+// lazily, memoised, and deduplicated: concurrent callers asking for the
+// same destination share one computation (singleflight) instead of
+// racing to build identical trees.
 type Router struct {
 	topo  *topology.Topology
 	index map[topology.ASN]int32 // dense index
 	asns  []topology.ASN         // inverse of index
 
-	mu    sync.RWMutex
-	trees map[topology.ASN]*tree
+	mu       sync.RWMutex
+	trees    map[topology.ASN]*tree
+	inflight map[topology.ASN]*treeCall
+
+	scratch  sync.Pool    // *computeScratch, reused across compute calls
+	computed atomic.Int64 // trees actually computed (not served from cache)
+}
+
+// treeCall is one in-flight tree computation; waiters block on done and
+// then read tr.
+type treeCall struct {
+	done chan struct{}
+	tr   *tree
 }
 
 // tree is the routing state of every AS toward one destination.
@@ -73,9 +87,10 @@ type tree struct {
 // New creates a Router for the given topology.
 func New(topo *topology.Topology) *Router {
 	r := &Router{
-		topo:  topo,
-		index: make(map[topology.ASN]int32, len(topo.ASes)),
-		trees: make(map[topology.ASN]*tree),
+		topo:     topo,
+		index:    make(map[topology.ASN]int32, len(topo.ASes)),
+		trees:    make(map[topology.ASN]*tree),
+		inflight: make(map[topology.ASN]*treeCall),
 	}
 	for i, a := range topo.ASes {
 		r.index[a.ASN] = int32(i)
@@ -87,7 +102,20 @@ func New(topo *topology.Topology) *Router {
 // Topology returns the topology this router operates on.
 func (r *Router) Topology() *topology.Topology { return r.topo }
 
+// TreeComputations reports how many routing trees have actually been
+// computed (cache hits and singleflight waiters excluded).
+func (r *Router) TreeComputations() int64 { return r.computed.Load() }
+
+// CachedTrees reports how many destination trees are memoised.
+func (r *Router) CachedTrees() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.trees)
+}
+
 // treeFor returns the routing tree toward dst, computing it on first use.
+// Concurrent callers for the same uncomputed destination are coalesced
+// onto a single computation.
 func (r *Router) treeFor(dst topology.ASN) (*tree, error) {
 	r.mu.RLock()
 	tr, ok := r.trees[dst]
@@ -98,12 +126,140 @@ func (r *Router) treeFor(dst topology.ASN) (*tree, error) {
 	if _, known := r.index[dst]; !known {
 		return nil, fmt.Errorf("bgp: unknown destination AS %d", dst)
 	}
+
+	r.mu.Lock()
+	if tr, ok := r.trees[dst]; ok {
+		r.mu.Unlock()
+		return tr, nil
+	}
+	if c, ok := r.inflight[dst]; ok {
+		r.mu.Unlock()
+		<-c.done
+		return c.tr, nil
+	}
+	c := &treeCall{done: make(chan struct{})}
+	r.inflight[dst] = c
+	r.mu.Unlock()
+
 	tr = r.compute(dst)
+	r.computed.Add(1)
+
 	r.mu.Lock()
 	r.trees[dst] = tr
+	delete(r.inflight, dst)
 	r.mu.Unlock()
+
+	c.tr = tr
+	close(c.done)
 	return tr, nil
 }
+
+// Warm precomputes the routing trees toward every given destination
+// using a bounded worker pool (workers <= 0 means GOMAXPROCS).
+// Destinations already cached cost nothing; duplicates are deduplicated.
+// Warming the campaign's destination set at world build removes the
+// cold-start serialization otherwise paid during round 0.
+func (r *Router) Warm(dsts []topology.ASN, workers int) error {
+	// Dedupe and drop already-cached destinations up front.
+	seen := make(map[topology.ASN]bool, len(dsts))
+	var todo []topology.ASN
+	r.mu.RLock()
+	for _, d := range dsts {
+		if seen[d] || r.trees[d] != nil {
+			continue
+		}
+		seen[d] = true
+		todo = append(todo, d)
+	}
+	r.mu.RUnlock()
+	if len(todo) == 0 {
+		return nil
+	}
+	for _, d := range todo {
+		if _, known := r.index[d]; !known {
+			return fmt.Errorf("bgp: warm: unknown destination AS %d", d)
+		}
+	}
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	if workers <= 1 {
+		for _, d := range todo {
+			if _, err := r.treeFor(d); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		wg    sync.WaitGroup
+		next  atomic.Int64
+		first atomic.Pointer[error]
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(todo)) {
+					return
+				}
+				if _, err := r.treeFor(todo[i]); err != nil {
+					first.CompareAndSwap(nil, &err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if errp := first.Load(); errp != nil {
+		return *errp
+	}
+	return nil
+}
+
+// computeScratch holds the per-computation working set. compute runs
+// once per destination and allocates six n-sized arrays plus a queue and
+// a heap; pooling the whole set removes that churn when thousands of
+// trees are computed (warmup, campaigns over many destinations).
+type computeScratch struct {
+	custDist, custNext []int32
+	peerDist, peerNext []int32
+	provDist, provNext []int32
+	queue              []int32
+	heap               distHeap
+}
+
+func (s *computeScratch) reset(n int) {
+	if cap(s.custDist) < n {
+		s.custDist = make([]int32, n)
+		s.custNext = make([]int32, n)
+		s.peerDist = make([]int32, n)
+		s.peerNext = make([]int32, n)
+		s.provDist = make([]int32, n)
+		s.provNext = make([]int32, n)
+	}
+	s.custDist = s.custDist[:n]
+	s.custNext = s.custNext[:n]
+	s.peerDist = s.peerDist[:n]
+	s.peerNext = s.peerNext[:n]
+	s.provDist = s.provDist[:n]
+	s.provNext = s.provNext[:n]
+	for i := 0; i < n; i++ {
+		s.custDist[i], s.peerDist[i], s.provDist[i] = inf, inf, inf
+		s.custNext[i], s.peerNext[i], s.provNext[i] = -1, -1, -1
+	}
+	s.queue = s.queue[:0]
+	s.heap = s.heap[:0]
+}
+
+const inf = int32(1 << 30)
 
 // compute builds the valley-free routing tree toward dst using the
 // three-phase algorithm: customer routes spread up the provider hierarchy
@@ -112,18 +268,16 @@ func (r *Router) treeFor(dst topology.ASN) (*tree, error) {
 // best-route length.
 func (r *Router) compute(dst topology.ASN) *tree {
 	n := len(r.asns)
-	const inf = int32(1 << 30)
 
-	custDist := make([]int32, n)
-	custNext := make([]int32, n)
-	peerDist := make([]int32, n)
-	peerNext := make([]int32, n)
-	provDist := make([]int32, n)
-	provNext := make([]int32, n)
-	for i := 0; i < n; i++ {
-		custDist[i], peerDist[i], provDist[i] = inf, inf, inf
-		custNext[i], peerNext[i], provNext[i] = -1, -1, -1
+	s, _ := r.scratch.Get().(*computeScratch)
+	if s == nil {
+		s = &computeScratch{}
 	}
+	s.reset(n)
+	defer r.scratch.Put(s)
+	custDist, custNext := s.custDist, s.custNext
+	peerDist, peerNext := s.peerDist, s.peerNext
+	provDist, provNext := s.provDist, s.provNext
 
 	di := r.index[dst]
 
@@ -131,10 +285,9 @@ func (r *Router) compute(dst topology.ASN) *tree {
 	// announce to their providers, and so on. BFS guarantees shortest
 	// paths; the ASN tie-break keeps trees deterministic.
 	custDist[di] = 0
-	queue := []int32{di}
-	for len(queue) > 0 {
-		x := queue[0]
-		queue = queue[1:]
+	queue := append(s.queue, di)
+	for head := 0; head < len(queue); head++ {
+		x := queue[head]
 		for _, p := range r.topo.Providers(r.asns[x]) {
 			pi := r.index[p]
 			nd := custDist[x] + 1
@@ -147,6 +300,7 @@ func (r *Router) compute(dst topology.ASN) *tree {
 			}
 		}
 	}
+	s.queue = queue[:0]
 
 	// Phase 2: peer routes. One lateral step from any AS holding a
 	// customer route.
@@ -168,7 +322,7 @@ func (r *Router) compute(dst topology.ASN) *tree {
 	// best route, so the distance seeded into the downhill Dijkstra is
 	// the length of each node's best customer-or-peer route; customers
 	// then extend whatever their provider selected.
-	pq := &distHeap{}
+	pq := &s.heap
 	best := func(i int32) (RouteClass, int32) {
 		switch {
 		case custDist[i] != inf:
@@ -183,11 +337,11 @@ func (r *Router) compute(dst topology.ASN) *tree {
 	}
 	for x := int32(0); x < int32(n); x++ {
 		if cls, d := best(x); cls == ViaCustomer || cls == ViaPeer {
-			heap.Push(pq, distEntry{node: x, dist: d})
+			pq.push(distEntry{node: x, dist: d})
 		}
 	}
 	for pq.Len() > 0 {
-		e := heap.Pop(pq).(distEntry)
+		e := pq.pop()
 		if _, d := best(e.node); e.dist > d {
 			continue // stale entry
 		}
@@ -201,7 +355,7 @@ func (r *Router) compute(dst topology.ASN) *tree {
 				// Only re-queue when the provider route is the node's
 				// selected best; otherwise its forwarding is unchanged.
 				if cls, d := best(ci); updated && cls == ViaProvider {
-					heap.Push(pq, distEntry{node: ci, dist: d})
+					pq.push(distEntry{node: ci, dist: d})
 				}
 			}
 		}
@@ -296,7 +450,11 @@ func (r *Router) Route(src, dst topology.ASN) (RouteInfo, error) {
 	return RouteInfo{Class: tr.class[si], Hops: int(tr.dist[si])}, nil
 }
 
-// distEntry and distHeap implement the phase-3 priority queue.
+// distEntry and distHeap implement the phase-3 priority queue as a typed
+// binary min-heap: no container/heap indirection, no interface boxing of
+// entries, and the backing array lives in the pooled computeScratch.
+// Ordering is (dist, node) ascending; the node tie-break keeps pop order
+// — and therefore tree construction — fully deterministic.
 type distEntry struct {
 	node int32
 	dist int32
@@ -304,21 +462,55 @@ type distEntry struct {
 
 type distHeap []distEntry
 
+// Len reports the number of queued entries.
 func (h distHeap) Len() int { return len(h) }
-func (h distHeap) Less(i, j int) bool {
+
+func (h distHeap) less(i, j int) bool {
 	if h[i].dist != h[j].dist {
 		return h[i].dist < h[j].dist
 	}
 	return h[i].node < h[j].node
 }
-func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distEntry)) }
-func (h *distHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *distHeap) push(e distEntry) {
+	*h = append(*h, e)
+	s := *h
+	// Sift up.
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *distHeap) pop() distEntry {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
 }
 
 var _ fmt.Stringer = NoRoute

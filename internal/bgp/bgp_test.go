@@ -1,6 +1,7 @@
 package bgp
 
 import (
+	"sync"
 	"testing"
 
 	"shortcuts/internal/datasets/apnic"
@@ -389,5 +390,96 @@ func TestDeterministicPaths(t *testing.T) {
 				t.Fatalf("nondeterministic path for %d->%d: %v vs %v", src.ASN, dst.ASN, p1, p2)
 			}
 		}
+	}
+}
+
+func TestTreeForSingleflight(t *testing.T) {
+	// Concurrent callers for the same cold destination must share one
+	// computation: the pre-singleflight Router dropped its lock between
+	// the miss check and compute, so 8 goroutines could build 8 copies
+	// of the same tree.
+	topo := buildMiniTopo(t)
+	r := New(topo)
+	dsts := []topology.ASN{1, 2, 3, 4, 5}
+	const workers = 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 50; i++ {
+				dst := dsts[(i+w)%len(dsts)]
+				src := dsts[(i+w+1)%len(dsts)]
+				if _, err := r.ASPath(src, dst); err != nil {
+					t.Errorf("ASPath(%d,%d): %v", src, dst, err)
+					return
+				}
+			}
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	if got := r.TreeComputations(); got != int64(len(dsts)) {
+		t.Fatalf("%d tree computations for %d destinations under %d goroutines (duplicated work)",
+			got, len(dsts), workers)
+	}
+	if got := r.CachedTrees(); got != len(dsts) {
+		t.Fatalf("CachedTrees = %d, want %d", got, len(dsts))
+	}
+}
+
+func TestWarmPrecomputesTrees(t *testing.T) {
+	topo := buildMiniTopo(t)
+	warm := New(topo)
+	all := []topology.ASN{1, 2, 3, 4, 5}
+	// Duplicates must be deduplicated; a second Warm must be free.
+	dsts := append(append([]topology.ASN{}, all...), all...)
+	if err := warm.Warm(dsts, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := warm.TreeComputations(); got != int64(len(all)) {
+		t.Fatalf("Warm computed %d trees, want %d", got, len(all))
+	}
+	if err := warm.Warm(all, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := warm.TreeComputations(); got != int64(len(all)) {
+		t.Fatalf("second Warm recomputed trees: %d computations", got)
+	}
+
+	// Warmed routes must be identical to lazily computed ones.
+	cold := New(topo)
+	for _, src := range all {
+		for _, dst := range all {
+			if src == dst {
+				continue
+			}
+			pw, err1 := warm.ASPath(src, dst)
+			pc, err2 := cold.ASPath(src, dst)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if len(pw) != len(pc) {
+				t.Fatalf("warm vs cold path lengths differ for %d->%d", src, dst)
+			}
+			for i := range pw {
+				if pw[i] != pc[i] {
+					t.Fatalf("warm vs cold paths differ for %d->%d: %v vs %v", src, dst, pw, pc)
+				}
+			}
+		}
+	}
+	// No lazy computation should have happened on the warmed router.
+	if got := warm.TreeComputations(); got != int64(len(all)) {
+		t.Fatalf("warmed router recomputed trees on use: %d computations", got)
+	}
+}
+
+func TestWarmUnknownDestination(t *testing.T) {
+	r := New(buildMiniTopo(t))
+	if err := r.Warm([]topology.ASN{1, 999999}, 2); err == nil {
+		t.Fatal("Warm accepted an unknown destination")
 	}
 }

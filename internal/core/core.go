@@ -2,6 +2,11 @@
 // world (topology, datasets, platforms, relay catalog), run the
 // measurement campaign, and hand the results to analysis. It is the
 // engine behind the public shortcuts API.
+//
+// The world is a first-class artifact: BuildWorld constructs it once
+// (staged, in parallel, routes warmed) and NewCampaignWith couples any
+// number of campaigns to it. NewCampaign remains the one-shot
+// convenience that does both.
 package core
 
 import (
@@ -10,6 +15,18 @@ import (
 	"shortcuts/internal/measure"
 	"shortcuts/internal/sim"
 )
+
+// BuildWorld constructs a reusable world under the given build options.
+// The result is safe to share across concurrent campaigns: its only
+// mutable state is internal caches (BGP trees, latency path state)
+// designed for concurrent use.
+func BuildWorld(wp sim.WorldParams, o sim.BuildOptions) (*sim.World, error) {
+	w, err := sim.BuildWith(wp, o)
+	if err != nil {
+		return nil, fmt.Errorf("core: building world: %w", err)
+	}
+	return w, nil
+}
 
 // Campaign couples a built world with a measurement schedule.
 type Campaign struct {
@@ -20,11 +37,18 @@ type Campaign struct {
 // NewCampaign builds the world for the given parameters and prepares the
 // measurement schedule.
 func NewCampaign(wp sim.WorldParams, mc measure.Config) (*Campaign, error) {
-	w, err := sim.Build(wp)
+	w, err := BuildWorld(wp, sim.DefaultBuildOptions())
 	if err != nil {
-		return nil, fmt.Errorf("core: building world: %w", err)
+		return nil, err
 	}
-	return &Campaign{World: w, Measure: mc}, nil
+	return NewCampaignWith(w, mc), nil
+}
+
+// NewCampaignWith couples a campaign to an existing world. Many
+// campaigns — differing in rounds, concurrency, or CampaignSeed — can
+// share one world and run concurrently.
+func NewCampaignWith(w *sim.World, mc measure.Config) *Campaign {
+	return &Campaign{World: w, Measure: mc}
 }
 
 // Run executes the campaign and returns the raw results; analysis

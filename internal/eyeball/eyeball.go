@@ -88,6 +88,24 @@ func (s *Selector) VerifiedASCount() int {
 	return n
 }
 
+// ASes returns the deduplicated, sorted set of verified eyeball ASes
+// with eligible probes — the ASes campaign endpoints can be sampled
+// from, and therefore the destinations every round routes toward.
+func (s *Selector) ASes() []topology.ASN {
+	seen := make(map[topology.ASN]bool)
+	var out []topology.ASN
+	for _, asns := range s.byCountry {
+		for _, a := range asns {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // SampleEndpoints draws the round's RAE set: for each country, one
 // uniformly random verified AS, then one uniformly random eligible probe
 // within it. Countries whose candidate probes are all offline this round

@@ -53,7 +53,7 @@ func RunStream(w *sim.World, cfg Config, sink Sink) error {
 	c := &campaign{
 		w:      w,
 		cfg:    cfg,
-		g:      rng.New(w.Params.Seed).Split("campaign"),
+		g:      rng.New(campaignSeed(cfg, w)).Split("campaign"),
 		ledger: atlas.NewLedger(cfg.DailyCreditLimit),
 		dists:  cityDistances(w),
 	}
@@ -65,6 +65,15 @@ func RunStream(w *sim.World, cfg Config, sink Sink) error {
 		sink.RoundDone(info)
 	}
 	return nil
+}
+
+// campaignSeed resolves the seed the campaign's draws derive from: an
+// explicit Config.CampaignSeed, or the world seed when unset.
+func campaignSeed(cfg Config, w *sim.World) int64 {
+	if cfg.CampaignSeed != 0 {
+		return cfg.CampaignSeed
+	}
+	return w.Params.Seed
 }
 
 type campaign struct {

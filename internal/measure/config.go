@@ -23,6 +23,12 @@ type Config struct {
 	Start time.Time
 	// Concurrency bounds the worker pool; <= 0 means GOMAXPROCS.
 	Concurrency int
+	// CampaignSeed drives the campaign's stochastic draws (endpoint and
+	// relay sampling). 0 inherits the world seed — the classic
+	// one-world-one-campaign coupling. Setting it decouples measurement
+	// randomness from world identity, so N campaigns with distinct
+	// seeds can share one built world (the sweep workload).
+	CampaignSeed int64
 	// DailyCreditLimit is the RIPE Atlas credit budget per day; the
 	// campaign fails if a round would exceed it. <= 0 disables.
 	DailyCreditLimit int64

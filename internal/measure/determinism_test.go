@@ -1,0 +1,166 @@
+package measure
+
+import (
+	"testing"
+
+	"shortcuts/internal/sim"
+)
+
+// observationsEqual compares two campaign outputs field-for-field,
+// including the per-relay improving sets.
+func observationsEqual(t *testing.T, label string, a, b *Results) {
+	t.Helper()
+	if len(a.Observations) != len(b.Observations) {
+		t.Fatalf("%s: observation counts differ: %d vs %d",
+			label, len(a.Observations), len(b.Observations))
+	}
+	if a.TotalPings != b.TotalPings {
+		t.Fatalf("%s: ping counts differ: %d vs %d", label, a.TotalPings, b.TotalPings)
+	}
+	for i := range a.Observations {
+		x, y := &a.Observations[i], &b.Observations[i]
+		if x.Round != y.Round || x.SrcProbe != y.SrcProbe || x.DstProbe != y.DstProbe ||
+			x.SrcAS != y.SrcAS || x.DstAS != y.DstAS ||
+			x.DirectMs != y.DirectMs || x.RevDirectMs != y.RevDirectMs {
+			t.Fatalf("%s: observation %d differs: %+v vs %+v", label, i, x, y)
+		}
+		if x.BestMs != y.BestMs || x.BestRelay != y.BestRelay || x.FeasibleCount != y.FeasibleCount {
+			t.Fatalf("%s: observation %d best/feasible differ", label, i)
+		}
+		if len(x.Improving) != len(y.Improving) {
+			t.Fatalf("%s: observation %d improving sets differ in size", label, i)
+		}
+		for k := range x.Improving {
+			if x.Improving[k] != y.Improving[k] {
+				t.Fatalf("%s: observation %d improving entry %d differs", label, i, k)
+			}
+		}
+	}
+}
+
+// TestDeterminismMatrix proves bit-identical campaign Results across
+// every scheduling dimension: world build parallelism (sequential vs
+// staged-parallel, warmed vs cold routes), measurement concurrency, and
+// latency-engine cache shards. None of these may perturb a single draw.
+func TestDeterminismMatrix(t *testing.T) {
+	const seed = 17
+	baseWP := sim.SmallWorldParams(seed)
+	baseWP.Latency.CacheShards = 1
+	baseWorld, err := sim.BuildWith(baseWP, sim.BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseCfg := QuickConfig(1)
+	baseCfg.Concurrency = 1
+	ref, err := Run(baseWorld, baseCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type combo struct {
+		buildWorkers int
+		warm         bool
+		concurrency  int
+		shards       int
+	}
+	combos := []combo{
+		{buildWorkers: 1, warm: true, concurrency: 8, shards: 8},
+		{buildWorkers: 8, warm: false, concurrency: 1, shards: 1},
+		{buildWorkers: 8, warm: true, concurrency: 8, shards: 1},
+		{buildWorkers: 8, warm: true, concurrency: 8, shards: 8},
+		{buildWorkers: 8, warm: false, concurrency: 8, shards: 64},
+	}
+	if testing.Short() {
+		combos = combos[3:4] // the fully parallel point still runs under -short
+	}
+	for _, c := range combos {
+		wp := sim.SmallWorldParams(seed)
+		wp.Latency.CacheShards = c.shards
+		w, err := sim.BuildWith(wp, sim.BuildOptions{Workers: c.buildWorkers, WarmRoutes: c.warm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := QuickConfig(1)
+		cfg.Concurrency = c.concurrency
+		res, err := Run(w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		observationsEqual(t, "matrix", ref, res)
+	}
+}
+
+// TestSharedWorldMatchesFreshWorld proves the shared-world workload's
+// core invariant: a campaign over a reused world is bit-identical to the
+// same campaign over a world built from scratch, even after the shared
+// world has served other campaigns (whose runs warm caches and draw
+// nothing from any world stream).
+func TestSharedWorldMatchesFreshWorld(t *testing.T) {
+	shared, err := sim.Build(sim.SmallWorldParams(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty the shared world's caches with an unrelated campaign.
+	other := QuickConfig(1)
+	other.CampaignSeed = 99
+	if _, err := Run(shared, other); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := QuickConfig(2)
+	onShared, err := Run(shared, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := sim.BuildWith(sim.SmallWorldParams(23), sim.BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	onFresh, err := Run(fresh, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observationsEqual(t, "shared-vs-fresh", onShared, onFresh)
+}
+
+// TestCampaignSeedDecouplesFromWorld verifies the sweep contract:
+// CampaignSeed 0 inherits the world seed, an explicit equal seed is
+// identical, and distinct seeds produce distinct measurement streams
+// over one shared world.
+func TestCampaignSeedDecouplesFromWorld(t *testing.T) {
+	w, err := sim.Build(sim.SmallWorldParams(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inherit, err := Run(w, QuickConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := QuickConfig(1)
+	explicit.CampaignSeed = 31
+	same, err := Run(w, explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observationsEqual(t, "inherit-vs-explicit", inherit, same)
+
+	distinct := QuickConfig(1)
+	distinct.CampaignSeed = 32
+	other, err := Run(w, distinct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(other.Observations) == len(inherit.Observations) {
+		diff := false
+		for i := range other.Observations {
+			if other.Observations[i].SrcProbe != inherit.Observations[i].SrcProbe ||
+				other.Observations[i].DirectMs != inherit.Observations[i].DirectMs {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Fatal("distinct campaign seeds produced identical streams")
+		}
+	}
+}

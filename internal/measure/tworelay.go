@@ -36,7 +36,7 @@ func TwoRelayExperiment(w *sim.World, cfg Config, round, maxPairs, maxRelays int
 	c := &campaign{
 		w:      w,
 		cfg:    cfg,
-		g:      rng.New(w.Params.Seed).Split("two-relay"),
+		g:      rng.New(campaignSeed(cfg, w)).Split("two-relay"),
 		ledger: nil, // extension experiment: outside the campaign budget
 		dists:  cityDistances(w),
 	}

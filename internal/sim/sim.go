@@ -3,10 +3,22 @@
 // the prefix-to-AS table, the stale facility-mapping snapshot, Periscope,
 // the RIPE Atlas fleet, PlanetLab, the relay catalog and the endpoint
 // selector. One seed builds one world, bit-for-bit reproducibly.
+//
+// Construction is a staged DAG: after topology generation, independent
+// generators (PeeringDB, prefix2as -> facmap, Periscope, Atlas,
+// PlanetLab) run concurrently. Every stage draws from its own named
+// rng.Split — a pure function of (seed, label) — so the schedule cannot
+// perturb any stream and parallel builds are bit-identical to
+// sequential ones. A built World is immutable apart from internal
+// caches (BGP trees, latency path state), all safe for concurrent use,
+// so one World can back arbitrarily many campaigns at once.
 package sim
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"shortcuts/internal/atlas"
 	"shortcuts/internal/bgp"
@@ -81,41 +93,227 @@ type World struct {
 	Selector  *eyeball.Selector
 }
 
-// Build constructs the world.
+// BuildOptions control how a world is constructed. Build options are a
+// pure scheduling knob: every option combination produces bit-identical
+// worlds for equal WorldParams.
+type BuildOptions struct {
+	// Workers bounds stage-level build parallelism. <= 0 means
+	// GOMAXPROCS; 1 builds strictly sequentially.
+	Workers int
+	// WarmRoutes precomputes the BGP routing trees toward every
+	// campaign destination (eyeball endpoint ASes and relay ASes) at
+	// build time, in parallel, so round 0 of a campaign starts against
+	// a hot routing cache instead of serializing on cold trees.
+	WarmRoutes bool
+}
+
+// DefaultBuildOptions is the standard campaign configuration: parallel
+// staged build plus the route warmup.
+func DefaultBuildOptions() BuildOptions {
+	return BuildOptions{Workers: 0, WarmRoutes: true}
+}
+
+// EffectiveWorkers resolves the Workers knob to the worker count a
+// build actually uses.
+func (o BuildOptions) EffectiveWorkers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// buildStage is one node of the construction DAG. Stages communicate
+// only through World fields their dependencies have already written, and
+// draw randomness only through named splits of the shared root
+// generator, so any schedule respecting deps yields the same world.
+type buildStage struct {
+	name string
+	deps []string
+	run  func(w *World, p WorldParams, g *rng.Rand) error
+}
+
+// worldStages returns the construction DAG in a valid sequential order
+// (every stage appears after its dependencies).
+func worldStages() []buildStage {
+	return []buildStage{
+		{name: "apnic", run: func(w *World, p WorldParams, g *rng.Rand) error {
+			w.Apnic = apnic.Generate(g.Split("apnic"), apnic.DefaultParams(worlddata.CountryCodes()))
+			return nil
+		}},
+		{name: "topology", deps: []string{"apnic"}, run: func(w *World, p WorldParams, g *rng.Rand) error {
+			topo, err := topology.Generate(g, p.Topology, w.Apnic)
+			if err != nil {
+				return err
+			}
+			w.Topo = topo
+			w.Router = bgp.New(topo)
+			return nil
+		}},
+		{name: "latency", deps: []string{"topology"}, run: func(w *World, p WorldParams, g *rng.Rand) error {
+			w.Engine = latency.New(w.Router, p.Latency, g)
+			return nil
+		}},
+		{name: "peeringdb", deps: []string{"topology"}, run: func(w *World, p WorldParams, g *rng.Rand) error {
+			w.Registry = peeringdb.New(w.Topo)
+			return nil
+		}},
+		{name: "prefix2as", deps: []string{"topology"}, run: func(w *World, p WorldParams, g *rng.Rand) error {
+			w.Prefixes = prefix2as.Generate(g, w.Topo, p.Prefix2AS)
+			return nil
+		}},
+		{name: "facmap", deps: []string{"prefix2as"}, run: func(w *World, p WorldParams, g *rng.Rand) error {
+			w.FacMap = facmap.Generate(g, w.Topo, w.Prefixes, p.FacMap)
+			return nil
+		}},
+		{name: "periscope", deps: []string{"latency"}, run: func(w *World, p WorldParams, g *rng.Rand) error {
+			w.Periscope = periscope.Generate(g, w.Topo, w.Engine, p.Periscope)
+			return nil
+		}},
+		{name: "atlas", deps: []string{"topology"}, run: func(w *World, p WorldParams, g *rng.Rand) error {
+			w.Atlas = atlas.Generate(g, w.Topo, p.Atlas)
+			return nil
+		}},
+		{name: "planetlab", deps: []string{"topology"}, run: func(w *World, p WorldParams, g *rng.Rand) error {
+			w.PlanetLab = planetlab.Generate(g, w.Topo, p.PlanetLab)
+			return nil
+		}},
+		{name: "eyeball", deps: []string{"apnic", "atlas"}, run: func(w *World, p WorldParams, g *rng.Rand) error {
+			w.Selector = eyeball.New(w.Apnic, w.Atlas, p.EyeballCutoff)
+			return nil
+		}},
+		{name: "relays", deps: []string{"peeringdb", "facmap", "periscope", "planetlab", "eyeball"}, run: func(w *World, p WorldParams, g *rng.Rand) error {
+			cat, err := relays.BuildCatalog(g, relays.Deps{
+				Topo:      w.Topo,
+				Registry:  w.Registry,
+				FacMap:    w.FacMap,
+				Prefixes:  w.Prefixes,
+				Periscope: w.Periscope,
+				Atlas:     w.Atlas,
+				PlanetLab: w.PlanetLab,
+				IsEyeball: w.Selector.IsEyeball,
+			})
+			if err != nil {
+				return err
+			}
+			w.Catalog = cat
+			return nil
+		}},
+		{name: "sampler", deps: []string{"relays"}, run: func(w *World, p WorldParams, g *rng.Rand) error {
+			w.Sampler = relays.NewSampler(w.Catalog, w.Atlas, w.PlanetLab, p.Sampling)
+			return nil
+		}},
+	}
+}
+
+// Build constructs the world with the default options (parallel staged
+// build, routes warmed).
 func Build(p WorldParams) (*World, error) {
+	return BuildWith(p, DefaultBuildOptions())
+}
+
+// BuildWith constructs the world under explicit build options. Equal
+// WorldParams produce bit-identical worlds for every option combination;
+// options trade build wall-clock only.
+func BuildWith(p WorldParams, o BuildOptions) (*World, error) {
 	g := rng.New(p.Seed)
 	w := &World{Params: p}
-
-	w.Apnic = apnic.Generate(g.Split("apnic"), apnic.DefaultParams(worlddata.CountryCodes()))
-
-	topo, err := topology.Generate(g, p.Topology, w.Apnic)
-	if err != nil {
-		return nil, fmt.Errorf("sim: topology: %w", err)
+	workers := o.EffectiveWorkers()
+	if err := runStages(worldStages(), workers, w, p, g); err != nil {
+		return nil, err
 	}
-	w.Topo = topo
-	w.Router = bgp.New(topo)
-	w.Engine = latency.New(w.Router, p.Latency, g)
-	w.Registry = peeringdb.New(topo)
-	w.Prefixes = prefix2as.Generate(g, topo, p.Prefix2AS)
-	w.FacMap = facmap.Generate(g, topo, w.Prefixes, p.FacMap)
-	w.Periscope = periscope.Generate(g, topo, w.Engine, p.Periscope)
-	w.Atlas = atlas.Generate(g, topo, p.Atlas)
-	w.PlanetLab = planetlab.Generate(g, topo, p.PlanetLab)
-	w.Selector = eyeball.New(w.Apnic, w.Atlas, p.EyeballCutoff)
-
-	w.Catalog, err = relays.BuildCatalog(g, relays.Deps{
-		Topo:      topo,
-		Registry:  w.Registry,
-		FacMap:    w.FacMap,
-		Prefixes:  w.Prefixes,
-		Periscope: w.Periscope,
-		Atlas:     w.Atlas,
-		PlanetLab: w.PlanetLab,
-		IsEyeball: w.Selector.IsEyeball,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("sim: relay catalog: %w", err)
+	if o.WarmRoutes {
+		if err := w.WarmRoutes(workers); err != nil {
+			return nil, fmt.Errorf("sim: warm routes: %w", err)
+		}
 	}
-	w.Sampler = relays.NewSampler(w.Catalog, w.Atlas, w.PlanetLab, p.Sampling)
 	return w, nil
+}
+
+// runStages executes the construction DAG with at most workers stages
+// in flight. workers <= 1 degenerates to the declared sequential order.
+func runStages(stages []buildStage, workers int, w *World, p WorldParams, g *rng.Rand) error {
+	if workers <= 1 {
+		for _, st := range stages {
+			if err := st.run(w, p, g); err != nil {
+				return fmt.Errorf("sim: %s: %w", st.name, err)
+			}
+		}
+		return nil
+	}
+
+	done := make(map[string]chan struct{}, len(stages))
+	for _, st := range stages {
+		if done[st.name] != nil {
+			return fmt.Errorf("sim: duplicate build stage %q", st.name)
+		}
+		done[st.name] = make(chan struct{})
+	}
+	for _, st := range stages {
+		for _, d := range st.deps {
+			if done[d] == nil {
+				return fmt.Errorf("sim: stage %q depends on unknown stage %q", st.name, d)
+			}
+		}
+	}
+
+	var (
+		wg     sync.WaitGroup
+		sem    = make(chan struct{}, workers)
+		failed atomic.Pointer[error]
+	)
+	for _, st := range stages {
+		wg.Add(1)
+		go func(st buildStage) {
+			defer wg.Done()
+			// Closing the done channel even on failure keeps dependents
+			// from blocking; they observe the failure flag and bail.
+			defer close(done[st.name])
+			for _, d := range st.deps {
+				<-done[d]
+			}
+			if failed.Load() != nil {
+				return
+			}
+			sem <- struct{}{}
+			err := st.run(w, p, g)
+			<-sem
+			if err != nil {
+				e := fmt.Errorf("sim: %s: %w", st.name, err)
+				failed.CompareAndSwap(nil, &e)
+			}
+		}(st)
+	}
+	wg.Wait()
+	if e := failed.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
+
+// CampaignDestinations returns the deduplicated AS set a measurement
+// campaign routes toward: every verified eyeball endpoint AS and every
+// relay AS. These are exactly the destinations whose BGP trees the
+// rounds will demand.
+func (w *World) CampaignDestinations() []topology.ASN {
+	seen := make(map[topology.ASN]bool)
+	var dsts []topology.ASN
+	add := func(a topology.ASN) {
+		if !seen[a] {
+			seen[a] = true
+			dsts = append(dsts, a)
+		}
+	}
+	for _, a := range w.Selector.ASes() {
+		add(a)
+	}
+	for i := range w.Catalog.Relays {
+		add(w.Catalog.Relays[i].Endpoint.AS)
+	}
+	return dsts
+}
+
+// WarmRoutes precomputes the BGP routing trees for every campaign
+// destination with the given parallelism (<= 0 means GOMAXPROCS).
+func (w *World) WarmRoutes(workers int) error {
+	return w.Router.Warm(w.CampaignDestinations(), workers)
 }

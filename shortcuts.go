@@ -14,7 +14,42 @@
 //	if err != nil { ... }
 //	fmt.Printf("COR improves %.0f%% of pairs\n", 100*res.ImprovedFraction(shortcuts.COR))
 //
-// Everything is deterministic per Config.Seed.
+// # Shared worlds
+//
+// The expensive artifact is the world, not the campaign — and the
+// paper's whole evaluation is many experiments over one measured world.
+// BuildWorld constructs it once (generators run as a parallel staged
+// DAG, BGP routing trees are pre-warmed) and NewCampaignWith attaches
+// any number of campaigns to it, concurrently if desired:
+//
+//	world, err := shortcuts.BuildWorld(shortcuts.Config{Seed: 1, SmallWorld: true})
+//	if err != nil { ... }
+//	for seed := int64(1); seed <= 8; seed++ {
+//		c, err := shortcuts.NewCampaignWith(world, shortcuts.Config{Seed: seed, Rounds: 4})
+//		...
+//	}
+//
+// Here cfg.Seed drives only the campaign's stochastic draws (endpoint
+// and relay sampling); the world is fixed. NewCampaign remains the
+// one-shot convenience (build world, attach one campaign), and a
+// campaign whose seed equals the world's is bit-identical either way.
+//
+// # Sweeps
+//
+// Sweep runs that loop for you — multi-seed, optionally multi-config,
+// over a shared or per-seed world, streaming each campaign through the
+// Sink layer into constant-memory StreamStats:
+//
+//	sweep := shortcuts.Sweep{
+//		Config: shortcuts.Config{Rounds: 4, SmallWorld: true},
+//		Seeds:  []int64{1, 2, 3, 4, 5, 6, 7, 8},
+//		World:  world, // nil rebuilds a world per seed
+//	}
+//	results, err := sweep.Run()
+//
+// Everything is deterministic per seed: equal seeds reproduce worlds and
+// campaigns bit-for-bit, for any build parallelism, worker count, cache
+// shard count, or degree of world sharing.
 package shortcuts
 
 import (
@@ -24,8 +59,6 @@ import (
 	"shortcuts/internal/core"
 	"shortcuts/internal/measure"
 	"shortcuts/internal/relays"
-	"shortcuts/internal/report"
-	"shortcuts/internal/sim"
 )
 
 // RelayType identifies one of the paper's relay populations.
@@ -79,23 +112,19 @@ type Campaign struct {
 	inner *core.Campaign
 }
 
-// NewCampaign builds the synthetic world for the config. Building the
-// default world takes well under a second; the expensive part is Run.
+// NewCampaign builds the synthetic world for the config and attaches
+// one campaign to it: shorthand for BuildWorld followed by
+// NewCampaignWith. To run several campaigns, build the world once and
+// share it.
 func NewCampaign(cfg Config) (*Campaign, error) {
 	if cfg.Rounds <= 0 {
 		return nil, fmt.Errorf("shortcuts: Rounds must be positive, got %d", cfg.Rounds)
 	}
-	wp := sim.DefaultWorldParams(cfg.Seed)
-	if cfg.SmallWorld {
-		wp = sim.SmallWorldParams(cfg.Seed)
-	}
-	mc := measure.QuickConfig(cfg.Rounds)
-	mc.Concurrency = cfg.Concurrency
-	inner, err := core.NewCampaign(wp, mc)
+	w, err := BuildWorld(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Campaign{inner: inner}, nil
+	return NewCampaignWith(w, cfg)
 }
 
 // Run executes the measurement campaign and returns its results. It is
@@ -122,19 +151,7 @@ type Funnel struct {
 }
 
 // Funnel returns the campaign world's COR pipeline counts.
-func (c *Campaign) Funnel() Funnel {
-	f := c.inner.World.Catalog.Funnel
-	return Funnel{
-		Initial:                f.Initial,
-		SingleFacilityActive:   f.SingleFacilityActive,
-		Pingable:               f.Pingable,
-		SameOwnership:          f.SameOwnership,
-		ActiveFacilityPresence: f.ActiveFacilityPresence,
-		Geolocated:             f.Geolocated,
-		Facilities:             f.Facilities,
-		Cities:                 f.Cities,
-	}
-}
+func (c *Campaign) Funnel() Funnel { return c.World().Funnel() }
 
 // CutoffPoint is one point of the Figure-1 eyeball-selection curve.
 type CutoffPoint struct {
@@ -145,17 +162,12 @@ type CutoffPoint struct {
 
 // EyeballCutoffCurve computes Figure 1 over the campaign's APNIC dataset.
 func (c *Campaign) EyeballCutoffCurve(cutoffs []float64) []CutoffPoint {
-	pts := c.inner.World.Apnic.CutoffCurve(cutoffs)
-	out := make([]CutoffPoint, len(pts))
-	for i, p := range pts {
-		out[i] = CutoffPoint{Cutoff: p.Cutoff, ASes: p.ASes, Countries: p.Countries}
-	}
-	return out
+	return c.World().EyeballCutoffCurve(cutoffs)
 }
 
 // WriteFig1CSV writes the Figure-1 series.
 func (c *Campaign) WriteFig1CSV(w io.Writer) error {
-	return report.Fig1(w, c.inner.World.Apnic)
+	return c.World().WriteFig1CSV(w)
 }
 
 // TwoRelayStats compares the best single-relay path against the best

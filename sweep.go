@@ -1,0 +1,131 @@
+package shortcuts
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Sweep fans a multi-campaign workload — one campaign per seed — over
+// the measurement substrate, streaming every campaign through the Sink
+// layer into constant-memory StreamStats.
+//
+// With World set, every campaign shares that one built world and the
+// seeds vary only the campaigns' stochastic draws (endpoint and relay
+// sampling): the paper's shape of evaluation, many experiments over one
+// measured Internet. With World nil, each seed builds its own world
+// (world and campaign both seeded with it), which answers the
+// across-worlds question instead — how robust a finding is to the
+// synthetic Internet itself.
+type Sweep struct {
+	// Config is the campaign template: Rounds and Concurrency apply to
+	// every campaign, and Seed serves only as the default when Seeds is
+	// empty. With World nil, SmallWorld selects the per-seed world
+	// dimensions (each world is seeded with its campaign seed); with
+	// World set, SmallWorld is ignored.
+	Config Config
+	// Seeds are the campaign seeds, one campaign per entry, reported in
+	// order. Empty defaults to {Config.Seed}. Seed 0 is the inherit
+	// sentinel (see NewCampaignWith): with World set it reruns the
+	// world-seed campaign rather than a distinct stream.
+	Seeds []int64
+	// World, when non-nil, is shared by every campaign.
+	World *World
+	// Parallelism bounds how many campaigns run concurrently; <= 0
+	// means 1. Campaigns parallelize internally via Config.Concurrency,
+	// so raising this mainly helps when campaigns are small or
+	// Concurrency is capped below the core count.
+	Parallelism int
+	// SinkFor, when set, supplies a streaming Sink per seed (it may
+	// return nil). Each campaign's observations flow into its own sink;
+	// sinks for different seeds may be invoked concurrently when
+	// Parallelism > 1.
+	SinkFor func(seed int64) Sink
+}
+
+// SweepResult is one campaign's outcome.
+type SweepResult struct {
+	Seed  int64
+	Stats *StreamStats
+	Err   error
+}
+
+// Run executes the sweep and returns one result per seed, in seed-slice
+// order. Campaign failures are recorded per result; the returned error
+// is the first failure (the remaining campaigns still run).
+func (s Sweep) Run() ([]SweepResult, error) {
+	seeds := s.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{s.Config.Seed}
+	}
+	workers := s.Parallelism
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+
+	results := make([]SweepResult, len(seeds))
+	run := func(i int) {
+		seed := seeds[i]
+		results[i] = SweepResult{Seed: seed}
+		world := s.World
+		if world == nil {
+			wcfg := s.Config
+			wcfg.Seed = seed
+			built, err := BuildWorld(wcfg)
+			if err != nil {
+				results[i].Err = fmt.Errorf("shortcuts: sweep seed %d: %w", seed, err)
+				return
+			}
+			world = built
+		}
+		ccfg := s.Config
+		ccfg.Seed = seed
+		c, err := NewCampaignWith(world, ccfg)
+		if err != nil {
+			results[i].Err = fmt.Errorf("shortcuts: sweep seed %d: %w", seed, err)
+			return
+		}
+		var sink Sink
+		if s.SinkFor != nil {
+			sink = s.SinkFor(seed)
+		}
+		stats, err := c.RunStream(sink)
+		if err != nil {
+			results[i].Err = fmt.Errorf("shortcuts: sweep seed %d: %w", seed, err)
+			return
+		}
+		results[i].Stats = stats
+	}
+
+	if workers == 1 {
+		for i := range seeds {
+			run(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					run(i)
+				}
+			}()
+		}
+		for i := range seeds {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	for i := range results {
+		if results[i].Err != nil {
+			return results, results[i].Err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,58 @@
+package shortcuts
+
+import (
+	"testing"
+)
+
+// benchSweepSeeds is the ISSUE's reference sweep workload: 8 campaign
+// seeds over the small world.
+var benchSweepSeeds = []int64{1, 2, 3, 4, 5, 6, 7, 8}
+
+// BenchmarkSweep compares the two ways to run a multi-seed campaign
+// workload. shared-world builds the world once and attaches all eight
+// campaigns to it (they also share warmed BGP trees and the latency
+// path-state cache, so later campaigns run against hot caches);
+// rebuild-per-campaign is the pre-World pattern — every campaign pays a
+// full world build and cold caches. Measurement work is identical, so
+// the gap is pure construction and cache waste.
+func BenchmarkSweep(b *testing.B) {
+	cfg := Config{Seed: 1, Rounds: 1, SmallWorld: true}
+
+	b.Run("shared-world", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			world, err := BuildWorld(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results, err := Sweep{Config: cfg, Seeds: benchSweepSeeds, World: world}.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if results[len(results)-1].Stats.Pairs() == 0 {
+				b.Fatal("sweep streamed nothing")
+			}
+		}
+	})
+
+	b.Run("rebuild-per-campaign", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, seed := range benchSweepSeeds {
+				world, err := BuildWorld(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c, err := NewCampaignWith(world, Config{Seed: seed, Rounds: cfg.Rounds})
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats, err := c.RunStream(nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Pairs() == 0 {
+					b.Fatal("campaign streamed nothing")
+				}
+			}
+		}
+	})
+}

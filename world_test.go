@@ -1,0 +1,110 @@
+package shortcuts
+
+import (
+	"testing"
+)
+
+// obsSink materializes the public observation stream for comparisons.
+type obsSink struct {
+	obs []Observation
+}
+
+func (s *obsSink) Emit(o Observation)  { s.obs = append(s.obs, o) }
+func (s *obsSink) RoundDone(RoundInfo) {}
+
+func sameObservations(t *testing.T, label string, a, b []Observation) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d observations", label, len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Round != y.Round || x.SrcCC != y.SrcCC || x.DstCC != y.DstCC ||
+			x.DirectMs != y.DirectMs || x.RevDirectMs != y.RevDirectMs ||
+			x.BestMs != y.BestMs || x.BestRelay != y.BestRelay ||
+			x.FeasibleCount != y.FeasibleCount || len(x.Improving) != len(y.Improving) {
+			t.Fatalf("%s: observation %d differs:\n%+v\nvs\n%+v", label, i, x, y)
+		}
+		for k := range x.Improving {
+			if x.Improving[k] != y.Improving[k] {
+				t.Fatalf("%s: observation %d improving entry %d differs", label, i, k)
+			}
+		}
+	}
+}
+
+func TestNewCampaignWithValidatesConfig(t *testing.T) {
+	c, _ := apiResults(t)
+	if _, err := NewCampaignWith(c.World(), Config{Seed: 1, Rounds: 0}); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+}
+
+// TestSharedWorldBitIdenticalToFresh is the public half of the
+// shared-world acceptance criterion: a campaign attached to a reused
+// world streams bit-identical observations to NewCampaign over a world
+// built from scratch with the same seed.
+func TestSharedWorldBitIdenticalToFresh(t *testing.T) {
+	cfg := Config{Seed: 1, Rounds: 2, SmallWorld: true}
+
+	camp, _ := apiResults(t) // fresh NewCampaign(cfg) fixture, same config
+	var fresh obsSink
+	if _, err := camp.RunStream(&fresh); err != nil {
+		t.Fatal(err)
+	}
+
+	shared, err := NewCampaignWith(camp.World(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reused obsSink
+	if _, err := shared.RunStream(&reused); err != nil {
+		t.Fatal(err)
+	}
+	sameObservations(t, "shared-vs-fresh", fresh.obs, reused.obs)
+}
+
+func TestWorldSharedAcrossCampaignSeeds(t *testing.T) {
+	camp, _ := apiResults(t)
+	world := camp.World()
+	if world.Seed() != 1 {
+		t.Fatalf("world seed = %d, want 1", world.Seed())
+	}
+
+	run := func(seed int64) *obsSink {
+		c, err := NewCampaignWith(world, Config{Seed: seed, Rounds: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sink obsSink
+		if _, err := c.RunStream(&sink); err != nil {
+			t.Fatal(err)
+		}
+		return &sink
+	}
+	a1, a2, b := run(5), run(5), run(6)
+	sameObservations(t, "same campaign seed", a1.obs, a2.obs)
+	if len(b.obs) == len(a1.obs) {
+		diff := false
+		for i := range b.obs {
+			if b.obs[i].DirectMs != a1.obs[i].DirectMs || b.obs[i].SrcCC != a1.obs[i].SrcCC {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Fatal("distinct campaign seeds streamed identical observations over one world")
+		}
+	}
+}
+
+func TestWorldFunnelMatchesCampaignFunnel(t *testing.T) {
+	camp, _ := apiResults(t)
+	if camp.World().Funnel() != camp.Funnel() {
+		t.Fatal("World.Funnel differs from Campaign.Funnel")
+	}
+	pts := camp.World().EyeballCutoffCurve([]float64{0, 10})
+	if len(pts) != 2 || pts[0].ASes < pts[1].ASes {
+		t.Fatalf("cutoff curve malformed: %+v", pts)
+	}
+}
