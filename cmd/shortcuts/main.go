@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -26,13 +28,15 @@ import (
 
 func main() {
 	var (
-		seed   = flag.Int64("seed", 1, "world seed (campaigns are deterministic per seed)")
-		rounds = flag.Int("rounds", 45, "measurement rounds (paper: 45 over one month)")
-		small  = flag.Bool("small", false, "use the reduced world for a fast run")
-		out    = flag.String("out", "", "directory for figure CSVs (omit to skip)")
-		stream = flag.Bool("stream", false, "streaming mode: constant-memory aggregates, no per-observation tables")
-		seeds  = flag.String("seeds", "", "comma-separated campaign seeds: sweep them all over ONE shared world (sweeps always run in streaming mode, so -stream is implied)")
-		par    = flag.Int("parallel", 1, "campaigns running concurrently in a -seeds sweep")
+		seed    = flag.Int64("seed", 1, "world seed (campaigns are deterministic per seed)")
+		rounds  = flag.Int("rounds", 45, "measurement rounds (paper: 45 over one month)")
+		small   = flag.Bool("small", false, "use the reduced world for a fast run")
+		out     = flag.String("out", "", "directory for figure CSVs (omit to skip)")
+		stream  = flag.Bool("stream", false, "streaming mode: constant-memory aggregates, no per-observation tables")
+		seeds   = flag.String("seeds", "", "comma-separated campaign seeds: sweep them all over ONE shared world (sweeps always run in streaming mode, so -stream is implied)")
+		par     = flag.Int("parallel", 1, "campaigns running concurrently in a -seeds sweep")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 	if *stream && *out != "" {
@@ -41,6 +45,10 @@ func main() {
 	if *seeds != "" && *out != "" {
 		fatal(fmt.Errorf("-out applies to a single campaign; drop -seeds to write figure CSVs"))
 	}
+	if err := startProfiles(*cpuProf, *memProf); err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	cfg := shortcuts.Config{Seed: *seed, Rounds: *rounds, SmallWorld: *small}
 	start := time.Now()
@@ -202,7 +210,58 @@ func writeFigures(w *shortcuts.World, r *shortcuts.Results, dir string) error {
 	})
 }
 
+// profState carries the -cpuprofile/-memprofile bookkeeping. stopProfiles
+// is idempotent so both the normal defer and fatal() can flush it.
+var profState struct {
+	cpu     *os.File
+	memPath string
+	done    bool
+}
+
+func startProfiles(cpuPath, memPath string) error {
+	profState.memPath = memPath
+	if cpuPath == "" {
+		return nil
+	}
+	f, err := os.Create(cpuPath)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	profState.cpu = f
+	return nil
+}
+
+func stopProfiles() {
+	if profState.done {
+		return
+	}
+	profState.done = true
+	if profState.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := profState.cpu.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "shortcuts: cpuprofile:", err)
+		}
+	}
+	if profState.memPath != "" {
+		f, err := os.Create(profState.memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shortcuts: memprofile:", err)
+			return
+		}
+		runtime.GC() // materialize up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "shortcuts: memprofile:", err)
+		}
+		f.Close()
+	}
+}
+
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "shortcuts:", err)
 	os.Exit(1)
 }

@@ -1,0 +1,88 @@
+package latency
+
+import (
+	"testing"
+	"time"
+
+	"shortcuts/internal/bgp"
+	"shortcuts/internal/datasets/apnic"
+	"shortcuts/internal/rng"
+	"shortcuts/internal/topology"
+	"shortcuts/internal/worlddata"
+)
+
+var (
+	benchEng  *Engine
+	benchA    Endpoint
+	benchB    Endpoint
+	benchTime = time.Date(2017, 4, 20, 12, 0, 0, 0, time.UTC)
+)
+
+func benchEngine(b *testing.B) (*Engine, Endpoint, Endpoint) {
+	b.Helper()
+	if benchEng == nil {
+		g := rng.New(1)
+		ds := apnic.Generate(g.Split("apnic"), apnic.DefaultParams(worlddata.CountryCodes()))
+		topo, err := topology.Generate(g, topology.SmallParams(), ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchEng = New(bgp.New(topo), DefaultParams(), g)
+		eyes := topo.ASesOfType(topology.Eyeball)
+		benchA = Endpoint{AS: eyes[0].ASN, City: eyes[0].HomeCity(), Access: 6 * time.Millisecond}
+		benchB = Endpoint{AS: eyes[len(eyes)-1].ASN, City: eyes[len(eyes)-1].HomeCity(), Access: 8 * time.Millisecond}
+	}
+	return benchEng, benchA, benchB
+}
+
+// BenchmarkPingHotPath times one simulated ping against a warmed path
+// cache — the campaign's innermost operation (~190k per round, millions
+// per campaign). This is the headline number of the allocation-free
+// hot-path work: ns/op and allocs/op here bound the whole campaign.
+func BenchmarkPingHotPath(b *testing.B) {
+	e, x, y := benchEngine(b)
+	if _, _, err := e.Ping(x, y, 0, 0, benchTime); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.Ping(x, y, i>>3, i&7, benchTime); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPingTrain times one whole 6-ping train through the batched
+// API: key, hash, cache lookup and direction factor are resolved once
+// for the train instead of once per slot.
+func BenchmarkPingTrain(b *testing.B) {
+	e, x, y := benchEngine(b)
+	out := make([]PingSample, 6)
+	if err := e.PingTrain(x, y, 0, benchTime, 5*time.Minute, out); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.PingTrain(x, y, i, benchTime, 5*time.Minute, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaseRTTWarm times the load-independent RTT query on a warmed
+// cache: pure hash + shard lookup.
+func BenchmarkBaseRTTWarm(b *testing.B) {
+	e, x, y := benchEngine(b)
+	if _, err := e.BaseRTT(x, y); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.BaseRTT(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

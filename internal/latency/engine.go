@@ -14,10 +14,16 @@
 // All stochastic draws derive from (seed, path identity) or (seed, path
 // identity, round, slot), never from call order, so concurrent campaigns
 // are bit-for-bit reproducible.
+//
+// The ping path is allocation-free: per-ping draws come from value-type
+// rng.Streams (a Derive is a hash, not a generator allocation), pair
+// identities are hashed with an inlined FNV-1a over fixed-size buffers,
+// and the cached pathState carries the precomputed congestion-scaled
+// static RTT and per-direction asymmetry factors, so a warm-cache Ping
+// touches no heap at all.
 package latency
 
 import (
-	"hash/fnv"
 	"math"
 	"sync"
 	"time"
@@ -38,7 +44,11 @@ import (
 type Engine struct {
 	router *bgp.Router
 	p      Params
-	root   *rng.Rand
+
+	// base is the value-type stream every per-path, per-endpoint and
+	// per-ping draw derives from. It is never advanced, only Derived, so
+	// any number of goroutines share it without synchronisation.
+	base rng.Stream
 
 	shards []cacheShard
 	mask   uint64
@@ -79,19 +89,15 @@ func less(a, b EndpointKey) bool {
 // pathState is the cached, deterministic state of one endpoint pair. It
 // holds scalars only: campaigns cache hundreds of thousands of pairs, so
 // the PoP polylines are recomputed on demand (the router memoises its
-// routing trees, which makes re-expansion cheap).
+// routing trees, which makes re-expansion cheap). Everything a ping
+// multiplies by is precomputed here, once per pair instead of once per
+// slot.
 type pathState struct {
-	wideRTT    time.Duration // propagation + hops, both directions
-	accessRTT  time.Duration // endpoint access, scaled by line factors
-	congestion float64       // static wide-area multiplier
+	static     float64 // congestion-scaled static RTT, in float ns
+	fwdAsym    float64 // multiplier in the canonical lo->hi direction
+	revAsym    float64 // multiplier in the hi->lo direction
 	diurnalAmp float64
-	asymmetry  float64 // fractional offset added in the lo->hi direction
 	midLon     float64 // longitude of the path midpoint, for local time
-}
-
-// staticRTT is the congestion-scaled load-independent RTT.
-func (st *pathState) staticRTT() float64 {
-	return float64(st.wideRTT)*st.congestion + float64(st.accessRTT)
 }
 
 // DefaultCacheShards is the path-state shard count used when
@@ -109,7 +115,7 @@ func New(router *bgp.Router, p Params, root *rng.Rand) *Engine {
 	e := &Engine{
 		router: router,
 		p:      p,
-		root:   root.Split("latency"),
+		base:   root.Stream("latency"),
 		shards: make([]cacheShard, n),
 		mask:   uint64(n - 1),
 	}
@@ -140,8 +146,8 @@ func (e *Engine) state(a, b Endpoint) (*pathState, error) {
 	return e.stateByKey(key, hashPair(key))
 }
 
-// stateByKey is the cache lookup given a precomputed pair hash; Ping
-// reuses the hash it already needs for the per-ping RNG stream.
+// stateByKey is the cache lookup given a precomputed pair hash; the ping
+// path reuses the hash it already needs for the per-ping RNG stream.
 func (e *Engine) stateByKey(key pairKey, h uint64) (*pathState, error) {
 	s := &e.shards[h&e.mask]
 	s.mu.RLock()
@@ -191,7 +197,7 @@ func (e *Engine) computeState(key pairKey) (*pathState, error) {
 	access := 2 * (scaleDuration(lo.Access, e.accessFactor(lo)) +
 		scaleDuration(hi.Access, e.accessFactor(hi)))
 
-	g := e.root.SplitN("path", int(hashNetPath(key)))
+	g := e.base.Derive("path", hashNetPath(key))
 	congestion := e.p.CongestionMedian * g.LogNormal(0, e.p.CoreCongestionSigma)
 	if g.Bool(e.p.BadPathProb) {
 		congestion *= g.Uniform(e.p.BadPathMin, e.p.BadPathMax)
@@ -199,12 +205,12 @@ func (e *Engine) computeState(key pairKey) (*pathState, error) {
 	topo := e.router.Topology()
 	mid := geo.Midpoint(topo.CityLoc(lo.City), topo.CityLoc(hi.City))
 
+	asym := g.Normal(0, e.p.AsymmetrySigma)
 	return &pathState{
-		wideRTT:    wide,
-		accessRTT:  access,
-		congestion: congestion,
+		static:     float64(wide)*congestion + float64(access),
+		fwdAsym:    1 + asym,
+		revAsym:    1 - asym,
 		diurnalAmp: g.Uniform(0, e.p.DiurnalAmpMax),
-		asymmetry:  g.Normal(0, e.p.AsymmetrySigma),
 		midLon:     mid.Lon,
 	}, nil
 }
@@ -218,47 +224,32 @@ func scaleDuration(d time.Duration, f float64) time.Duration {
 // a congested DSL line is consistently congested across every path it
 // terminates or relays.
 func (e *Engine) accessFactor(k EndpointKey) float64 {
-	h := fnv.New64a()
-	writeEndpointKey(h, k, true)
-	g := e.root.SplitN("endpoint", int(h.Sum64()))
+	g := e.base.Derive("endpoint", hashEndpointKey(rng.FNVOffset64, k, true))
 	return g.LogNormal(0, e.p.AccessCongestionSigma)
 }
 
 func hashPair(key pairKey) uint64 {
-	h := fnv.New64a()
-	writeEndpointKey(h, key.lo, true)
-	writeEndpointKey(h, key.hi, true)
-	return h.Sum64()
+	h := hashEndpointKey(rng.FNVOffset64, key.lo, true)
+	return hashEndpointKey(h, key.hi, true)
 }
 
 // hashNetPath hashes only the (AS, city) attachment points, ignoring
 // access delay, so path traits are shared by co-attached hosts.
 func hashNetPath(key pairKey) uint64 {
-	h := fnv.New64a()
-	writeEndpointKey(h, key.lo, false)
-	writeEndpointKey(h, key.hi, false)
-	return h.Sum64()
+	h := hashEndpointKey(rng.FNVOffset64, key.lo, false)
+	return hashEndpointKey(h, key.hi, false)
 }
 
-func writeEndpointKey(h interface{ Write([]byte) (int, error) }, k EndpointKey, withAccess bool) {
-	var buf [20]byte
-	u := uint64(k.AS)
-	for i := 0; i < 8; i++ {
-		buf[i] = byte(u >> (8 * i))
-	}
-	c := uint32(k.City)
-	for i := 0; i < 4; i++ {
-		buf[8+i] = byte(c >> (8 * i))
-	}
-	n := 12
+// hashEndpointKey folds an endpoint identity into a running FNV-1a hash
+// (rng's inlined zero-alloc fold): 8 little-endian bytes of AS, 4 of
+// city, and (withAccess) 8 of the access delay.
+func hashEndpointKey(h uint64, k EndpointKey, withAccess bool) uint64 {
+	h = rng.FNVUint64(h, uint64(k.AS))
+	h = rng.FNVUint32(h, uint32(k.City))
 	if withAccess {
-		ac := uint64(k.Access)
-		for i := 0; i < 8; i++ {
-			buf[12+i] = byte(ac >> (8 * i))
-		}
-		n = 20
+		h = rng.FNVUint64(h, uint64(k.Access))
 	}
-	h.Write(buf[:n])
+	return h
 }
 
 // BaseRTT returns the load-independent RTT between two endpoints: the
@@ -270,7 +261,7 @@ func (e *Engine) BaseRTT(a, b Endpoint) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
-	return time.Duration(st.staticRTT()), nil
+	return time.Duration(st.static), nil
 }
 
 // diurnalFactor returns the load factor at time t for a path whose
@@ -284,6 +275,30 @@ func diurnalFactor(t time.Time, amp, midLon float64) float64 {
 	return 1 + amp*(0.5+0.5*math.Cos(phase))
 }
 
+// pingSlot prices one ping slot against resolved path state: the shared
+// core of Ping and PingTrain. asym is the direction factor (fwdAsym or
+// revAsym) the caller resolved once per train.
+func (e *Engine) pingSlot(st *pathState, hp uint64, asym float64, round, slot int, t time.Time) (time.Duration, bool) {
+	h := hp ^ uint64(round)<<32 ^ uint64(slot)<<16
+	g := e.base.Derive("ping", h)
+
+	if g.Bool(e.p.LossProb) {
+		return 0, false
+	}
+	rtt := st.static
+	rtt *= diurnalFactor(t, st.diurnalAmp, st.midLon)
+	rtt *= asym
+	rtt *= g.LogNormal(0, e.p.JitterSigma)
+	if g.Bool(e.p.SpikeProb) {
+		spike := time.Duration(g.Pareto(float64(e.p.SpikeMin), e.p.SpikeAlpha))
+		if spike > e.p.SpikeCap {
+			spike = e.p.SpikeCap
+		}
+		rtt += float64(spike)
+	}
+	return time.Duration(rtt), true
+}
+
 // Ping simulates one ping from a to b during measurement round `round`,
 // ping slot `slot`, at wall time t. It returns the observed RTT and
 // whether a reply arrived at all. Swapping a and b yields a slightly
@@ -295,29 +310,12 @@ func (e *Engine) Ping(a, b Endpoint, round, slot int, t time.Time) (time.Duratio
 	if err != nil {
 		return 0, false, err
 	}
-	h := hp ^ uint64(round)<<32 ^ uint64(slot)<<16
-	g := e.root.SplitN("ping", int(h))
-
-	if g.Bool(e.p.LossProb) {
-		return 0, false, nil
+	asym := st.fwdAsym
+	if a.Key() != key.lo {
+		asym = st.revAsym
 	}
-	rtt := st.staticRTT()
-	rtt *= diurnalFactor(t, st.diurnalAmp, st.midLon)
-	// Direction: a->b in canonical order gets +asymmetry, reverse gets -.
-	if a.Key() == key.lo {
-		rtt *= 1 + st.asymmetry
-	} else {
-		rtt *= 1 - st.asymmetry
-	}
-	rtt *= g.LogNormal(0, e.p.JitterSigma)
-	if g.Bool(e.p.SpikeProb) {
-		spike := time.Duration(g.Pareto(float64(e.p.SpikeMin), e.p.SpikeAlpha))
-		if spike > e.p.SpikeCap {
-			spike = e.p.SpikeCap
-		}
-		rtt += float64(spike)
-	}
-	return time.Duration(rtt), true, nil
+	rtt, ok := e.pingSlot(st, hp, asym, round, slot, t)
+	return rtt, ok, nil
 }
 
 // Trace returns the forward PoP-level path from a to b (the city polyline

@@ -1,0 +1,42 @@
+package latency
+
+import "time"
+
+// PingSample is one slot of a ping train: the observed RTT and whether a
+// reply arrived at all.
+type PingSample struct {
+	RTT time.Duration
+	OK  bool
+}
+
+// PingTrain simulates the round's whole ping train from a to b in one
+// call: len(out) pings starting at t0, spaced by interval, filling out
+// slot by slot. Slot s is bit-identical to Ping(a, b, round, s,
+// t0.Add(s*interval)) — the train is purely an amortisation: the
+// canonical key, pair hash, cache lookup and direction factor are
+// resolved once per train instead of once per slot, and nothing in the
+// loop touches the heap.
+//
+// The campaign calls this millions of times per run; it performs zero
+// allocations once the pair's path state is cached.
+func (e *Engine) PingTrain(a, b Endpoint, round int, t0 time.Time, interval time.Duration, out []PingSample) error {
+	if len(out) == 0 {
+		return nil
+	}
+	key := canonicalKey(a, b)
+	hp := hashPair(key)
+	st, err := e.stateByKey(key, hp)
+	if err != nil {
+		return err
+	}
+	asym := st.fwdAsym
+	if a.Key() != key.lo {
+		asym = st.revAsym
+	}
+	for slot := range out {
+		at := t0.Add(time.Duration(slot) * interval)
+		rtt, ok := e.pingSlot(st, hp, asym, round, slot, at)
+		out[slot] = PingSample{RTT: rtt, OK: ok}
+	}
+	return nil
+}

@@ -55,7 +55,8 @@ func RunStream(w *sim.World, cfg Config, sink Sink) error {
 		cfg:    cfg,
 		g:      rng.New(campaignSeed(cfg, w)).Split("campaign"),
 		ledger: atlas.NewLedger(cfg.DailyCreditLimit),
-		dists:  cityDistances(w),
+		nc:     len(w.Topo.Cities),
+		prop:   cityPropDelays(w),
 	}
 	for round := 0; round < cfg.Rounds; round++ {
 		info, err := c.runRound(round, sink)
@@ -81,21 +82,28 @@ type campaign struct {
 	cfg    Config
 	g      *rng.Rand
 	ledger *atlas.Ledger
-	dists  [][]float64 // city-city great-circle km
+	nc     int             // city count (side of the prop matrix)
+	prop   []time.Duration // flat nc x nc one-way propagation delays
+
+	// Round-local scratch, reused across rounds (rounds run
+	// sequentially; only the worker pool inside a round is parallel, and
+	// workers never write these concurrently with each other's slots).
+	improving []ImproveEntry
+	feasBuf   []int32 // feasible relay positions, all pairs back to back
+	feasOff   []int   // per-pair extents into feasBuf
 }
 
-// cityDistances precomputes the distance matrix used by the feasibility
-// filter; probes and relays are geolocated at city granularity.
-func cityDistances(w *sim.World) [][]float64 {
+// cityPropDelays precomputes the flat city-pair propagation-delay matrix
+// the feasibility filter reads. The filter runs per (pair x relay) —
+// hundreds of millions of checks per campaign — so it must be two array
+// loads, not two great-circle PropDelay computations.
+func cityPropDelays(w *sim.World) []time.Duration {
 	n := len(w.Topo.Cities)
-	m := make([][]float64, n)
-	for i := 0; i < n; i++ {
-		m[i] = make([]float64, n)
-	}
+	m := make([]time.Duration, n*n)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			d := geo.Distance(w.Topo.Cities[i].Loc, w.Topo.Cities[j].Loc)
-			m[i][j], m[j][i] = d, d
+			d := geo.PropDelay(geo.Distance(w.Topo.Cities[i].Loc, w.Topo.Cities[j].Loc))
+			m[i*n+j], m[j*n+i] = d, d
 		}
 	}
 	return m
@@ -139,11 +147,13 @@ func (c *campaign) runRound(round int, sink Sink) (RoundInfo, error) {
 		relayUp[pos] = r.ProbeID == 0 || c.w.Atlas.WindowUp(r.ProbeID, round)
 	}
 
-	// Step 2: direct paths, both directions.
+	// Step 2: direct paths, both directions. The pair universe has a
+	// closed-form size, so the list is allocated exactly once.
+	ne := len(endpoints)
 	type pairIdx struct{ i, j int }
-	var pairs []pairIdx
-	for i := 0; i < len(endpoints); i++ {
-		for j := i + 1; j < len(endpoints); j++ {
+	pairs := make([]pairIdx, 0, ne*(ne-1)/2)
+	for i := 0; i < ne; i++ {
+		for j := i + 1; j < ne; j++ {
 			pairs = append(pairs, pairIdx{i, j})
 		}
 	}
@@ -178,19 +188,30 @@ func (c *campaign) runRound(round int, sink Sink) (RoundInfo, error) {
 	// the union of endpoint-relay legs needed. Legs are tracked in a
 	// flat (endpoint index × relay position) array instead of a keyed
 	// map: the round's leg universe is dense and small, and index math
-	// is contention-free for the worker pool below.
-	feasible := make([][]int32, len(pairs)) // relay positions per pair
-	needLeg := make([]bool, len(endpoints)*nr)
+	// is contention-free for the worker pool below. Feasible positions
+	// append into one flat backing buffer (reused across rounds) with
+	// per-pair extents recorded as offsets; the extents become slices
+	// only after the loop, once the buffer has stopped moving.
+	relayCity := make([]int, nr)
+	for pos, ri := range roundRelays {
+		relayCity[pos] = c.w.Catalog.Relays[ri].City
+	}
+	needLeg := make([]bool, ne*nr)
+	if cap(c.feasOff) < len(pairs)+1 {
+		c.feasOff = make([]int, len(pairs)+1)
+	}
+	feasOff := c.feasOff[:len(pairs)+1]
+	feasBuf := c.feasBuf[:0]
 	for k, p := range pairs {
+		feasOff[k] = len(feasBuf)
 		if fwd[k] == 0 {
 			continue // unresponsive pair: no relay measurements either
 		}
 		a, b := endpoints[p.i], endpoints[p.j]
 		directRTT := time.Duration(float64(fwd[k]) * float64(time.Millisecond))
-		for pos, ri := range roundRelays {
-			r := &c.w.Catalog.Relays[ri]
-			if c.feasible(a.City, r.City, b.City, directRTT) {
-				feasible[k] = append(feasible[k], int32(pos))
+		for pos := 0; pos < nr; pos++ {
+			if c.feasible(a.City, relayCity[pos], b.City, directRTT) {
+				feasBuf = append(feasBuf, int32(pos))
 				if relayUp[pos] {
 					needLeg[p.i*nr+pos] = true
 					needLeg[p.j*nr+pos] = true
@@ -198,16 +219,28 @@ func (c *campaign) runRound(round int, sink Sink) (RoundInfo, error) {
 			}
 		}
 	}
+	feasOff[len(pairs)] = len(feasBuf)
+	c.feasBuf, c.feasOff = feasBuf, feasOff
+	feasible := make([][]int32, len(pairs)) // relay positions per pair
+	for k := range pairs {
+		feasible[k] = feasBuf[feasOff[k]:feasOff[k+1]:feasOff[k+1]]
+	}
 
 	// Step 4 (legs): measure each needed endpoint-relay pair once. The
 	// ascending flat index yields a deterministic job order.
-	legJobs := make([]int32, 0, len(endpoints)*nr/4)
+	nLegs := 0
+	for _, need := range needLeg {
+		if need {
+			nLegs++
+		}
+	}
+	legJobs := make([]int32, 0, nLegs)
 	for idx, need := range needLeg {
 		if need {
 			legJobs = append(legJobs, int32(idx))
 		}
 	}
-	legVals := make([]float32, len(endpoints)*nr)
+	legVals := make([]float32, ne*nr)
 	err = c.parallel(len(legJobs), func(s *scratch, k int) error {
 		idx := int(legJobs[k])
 		probe := endpoints[idx/nr]
@@ -248,6 +281,7 @@ func (c *campaign) runRound(round int, sink Sink) (RoundInfo, error) {
 		for t := 0; t < relays.NumTypes; t++ {
 			o.BestRelay[t] = -1
 		}
+		c.improving = c.improving[:0]
 		for _, pos := range feasible[k] {
 			ri := roundRelays[pos]
 			r := &c.w.Catalog.Relays[ri]
@@ -267,8 +301,15 @@ func (c *campaign) runRound(round int, sink Sink) (RoundInfo, error) {
 				o.BestRelay[t] = int32(ri)
 			}
 			if stitched < o.DirectMs {
-				o.Improving = append(o.Improving, ImproveEntry{Relay: uint16(ri), RelayedMs: stitched})
+				c.improving = append(c.improving, ImproveEntry{Relay: uint16(ri), RelayedMs: stitched})
 			}
+		}
+		// Improving entries escape into the sink, so they get an
+		// exact-size copy: the scratch absorbs the append growth, the
+		// observation retains not a byte more than its entries.
+		if len(c.improving) > 0 {
+			o.Improving = make([]ImproveEntry, len(c.improving))
+			copy(o.Improving, c.improving)
 		}
 		sink.Emit(o)
 		info.PairsUsable++
@@ -277,13 +318,13 @@ func (c *campaign) runRound(round int, sink Sink) (RoundInfo, error) {
 }
 
 // feasible applies the Section-2.4 speed-of-light filter using the
-// precomputed city distance matrix. With the ablation switch on, every
-// relay is considered feasible.
+// precomputed flat propagation-delay matrix. With the ablation switch
+// on, every relay is considered feasible.
 func (c *campaign) feasible(srcCity, relayCity, dstCity int, directRTT time.Duration) bool {
 	if c.cfg.DisableFeasibilityFilter {
 		return true
 	}
-	ideal := 2 * (geo.PropDelay(c.dists[srcCity][relayCity]) + geo.PropDelay(c.dists[relayCity][dstCity]))
+	ideal := 2 * (c.prop[srcCity*c.nc+relayCity] + c.prop[relayCity*c.nc+dstCity])
 	return ideal <= directRTT
 }
 
@@ -292,42 +333,56 @@ func (c *campaign) continentOf(p *atlas.Probe) string {
 }
 
 // scratch is per-worker reusable state: medianRTT is called millions of
-// times per campaign, so its sample buffer must not be reallocated per
-// pair.
+// times per campaign, so neither its train buffer nor its sample buffer
+// may be reallocated per pair.
 type scratch struct {
-	vals []float64
+	train []latency.PingSample
+	vals  []float64
 }
 
-// medianRTT sends the round's ping train from a to b and returns the
-// median in milliseconds (0 when fewer than MinValidPings replies
-// arrived) plus the number of pings sent.
+// medianRTT sends the round's ping train from a to b as one batched
+// PingTrain call and returns the median in milliseconds (0 when fewer
+// than MinValidPings replies arrived) plus the number of pings sent.
 func (c *campaign) medianRTT(s *scratch, a, b latency.Endpoint, round int, windowStart time.Time) (float32, int, error) {
-	if cap(s.vals) < c.cfg.PingsPerPair {
-		s.vals = make([]float64, 0, c.cfg.PingsPerPair)
+	n := c.cfg.PingsPerPair
+	if cap(s.train) < n {
+		s.train = make([]latency.PingSample, n)
+		s.vals = make([]float64, 0, n)
+	}
+	train := s.train[:n]
+	if err := c.w.Engine.PingTrain(a, b, round, windowStart, c.cfg.PingInterval, train); err != nil {
+		return 0, 0, err
 	}
 	vals := s.vals[:0]
-	for slot := 0; slot < c.cfg.PingsPerPair; slot++ {
-		at := windowStart.Add(time.Duration(slot) * c.cfg.PingInterval)
-		rtt, ok, err := c.w.Engine.Ping(a, b, round, slot, at)
-		if err != nil {
-			return 0, 0, err
-		}
-		if ok {
-			vals = append(vals, float64(rtt)/float64(time.Millisecond))
+	for i := range train {
+		if train[i].OK {
+			vals = append(vals, float64(train[i].RTT)/float64(time.Millisecond))
 		}
 	}
 	if len(vals) < c.cfg.MinValidPings {
-		return 0, c.cfg.PingsPerPair, nil
+		return 0, n, nil
 	}
-	sort.Float64s(vals)
-	mid := len(vals) / 2
-	var med float64
-	if len(vals)%2 == 1 {
-		med = vals[mid]
+	return float32(median(vals)), n, nil
+}
+
+// median returns the exact median of vals, sorting in place. Ping trains
+// are tiny (6 by default), where insertion sort beats sort.Float64s; the
+// generic sort remains the fallback for unusually long trains.
+func median(vals []float64) float64 {
+	if len(vals) <= 16 {
+		for i := 1; i < len(vals); i++ {
+			for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+				vals[j], vals[j-1] = vals[j-1], vals[j]
+			}
+		}
 	} else {
-		med = (vals[mid-1] + vals[mid]) / 2
+		sort.Float64s(vals)
 	}
-	return float32(med), c.cfg.PingsPerPair, nil
+	mid := len(vals) / 2
+	if len(vals)%2 == 1 {
+		return vals[mid]
+	}
+	return (vals[mid-1] + vals[mid]) / 2
 }
 
 // parallel runs fn over [0, n) with the configured worker count, each

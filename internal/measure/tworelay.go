@@ -38,7 +38,8 @@ func TwoRelayExperiment(w *sim.World, cfg Config, round, maxPairs, maxRelays int
 		cfg:    cfg,
 		g:      rng.New(campaignSeed(cfg, w)).Split("two-relay"),
 		ledger: nil, // extension experiment: outside the campaign budget
-		dists:  cityDistances(w),
+		nc:     len(w.Topo.Cities),
+		prop:   cityPropDelays(w),
 	}
 	start := cfg.Start.Add(time.Duration(round) * cfg.RoundInterval)
 

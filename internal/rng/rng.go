@@ -8,7 +8,6 @@
 package rng
 
 import (
-	"hash/fnv"
 	"math"
 	"math/rand"
 )
@@ -28,35 +27,29 @@ func New(seed int64) *Rand {
 // Seed returns the seed this Rand was created with.
 func (g *Rand) Seed() int64 { return g.seed }
 
+// splitSeed is the FNV-1a derivation behind Split: a pure function of
+// (seed, label).
+func splitSeed(seed int64, label string) int64 {
+	h := FNVOffset64
+	h = FNVUint64(h, uint64(seed))
+	for i := 0; i < len(label); i++ {
+		h = (h ^ uint64(label[i])) * fnvPrime64
+	}
+	return int64(h)
+}
+
 // Split derives an independent generator identified by label. Splitting is
 // a pure function of (seed, label): the same pair always yields the same
 // stream, regardless of how much the parent has been consumed.
 func (g *Rand) Split(label string) *Rand {
-	h := fnv.New64a()
-	var buf [8]byte
-	for i := 0; i < 8; i++ {
-		buf[i] = byte(uint64(g.seed) >> (8 * i))
-	}
-	h.Write(buf[:])
-	h.Write([]byte(label))
-	return New(int64(h.Sum64()))
+	return New(splitSeed(g.seed, label))
 }
 
 // SplitN derives an independent generator identified by a label and an
 // integer, convenient for per-round or per-entity streams.
 func (g *Rand) SplitN(label string, n int) *Rand {
-	h := fnv.New64a()
-	var buf [8]byte
-	for i := 0; i < 8; i++ {
-		buf[i] = byte(uint64(g.seed) >> (8 * i))
-	}
-	h.Write(buf[:])
-	h.Write([]byte(label))
-	for i := 0; i < 8; i++ {
-		buf[i] = byte(uint64(n) >> (8 * i))
-	}
-	h.Write(buf[:])
-	return New(int64(h.Sum64()))
+	h := uint64(splitSeed(g.seed, label))
+	return New(int64(FNVUint64(h, uint64(n))))
 }
 
 // Float64 returns a uniform draw in [0, 1).

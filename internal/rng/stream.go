@@ -1,0 +1,155 @@
+package rng
+
+import "math"
+
+// Stream is a value-type, counter-based deterministic random source for
+// hot paths. Where Rand wraps math/rand (whose lagged-Fibonacci source
+// allocates a ~5 KB table per generator, making per-ping Split calls
+// allocation-bound), a Stream is a single uint64 of SplitMix64 state:
+// deriving one is a hash, advancing one is three multiplies, and both
+// live entirely on the stack.
+//
+// Streams obey the same splitting discipline as Rand: a derived stream
+// is a pure function of (parent identity, label, n), never of how much
+// any other stream has been consumed, so concurrent consumers reproduce
+// bit-for-bit. Distribution helpers use fixed draw counts (Normal is
+// Box-Muller, exactly two uniforms) so a stream's consumption is a pure
+// function of the calls made on it.
+type Stream struct {
+	state uint64
+}
+
+// SplitMix64 constants (Steele, Lea & Flood, "Fast splittable
+// pseudorandom number generators", OOPSLA 2014).
+const (
+	smGamma = 0x9e3779b97f4a7c15
+	smMulA  = 0xbf58476d1ce4e5b9
+	smMulB  = 0x94d049bb133111eb
+)
+
+// NewStream returns a Stream seeded with the given seed.
+func NewStream(seed int64) Stream {
+	return Stream{state: uint64(seed)}
+}
+
+// Stream derives a value-type stream identified by label: the
+// counter-based analogue of Split, sharing its (seed, label) identity
+// discipline. Like Split it is independent of parent consumption.
+func (g *Rand) Stream(label string) Stream {
+	return NewStream(splitSeed(g.seed, label))
+}
+
+// Derive returns an independent stream identified by (s, label, n). It
+// is a pure function of the receiver's identity — the receiver is not
+// advanced — so one base stream can hand out per-entity streams from
+// any number of goroutines with no synchronisation and no heap.
+func (s Stream) Derive(label string, n uint64) Stream {
+	h := FNVOffset64
+	h = FNVUint64(h, s.state)
+	for i := 0; i < len(label); i++ {
+		h = (h ^ uint64(label[i])) * fnvPrime64
+	}
+	h = FNVUint64(h, n)
+	return Stream{state: h}
+}
+
+// Uint64 advances the stream and returns the next 64 uniform bits.
+func (s *Stream) Uint64() uint64 {
+	s.state += smGamma
+	z := s.state
+	z = (z ^ z>>30) * smMulA
+	z = (z ^ z>>27) * smMulB
+	return z ^ z>>31
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Bool returns true with probability p. Degenerate probabilities
+// (p <= 0, p >= 1) consume no draw, matching Rand.Bool.
+func (s *Stream) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Uniform returns a uniform draw in [lo, hi). If hi <= lo it returns lo
+// without consuming a draw, matching Rand.Uniform.
+func (s *Stream) Uniform(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + s.Float64()*(hi-lo)
+}
+
+// NormFloat64 returns a standard normal draw via Box-Muller. Exactly two
+// uniforms are consumed per call (the zero-rejection loop retries the
+// first), keeping stream consumption deterministic.
+func (s *Stream) NormFloat64() float64 {
+	u := s.Float64()
+	for u == 0 {
+		u = s.Float64()
+	}
+	v := s.Float64()
+	return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+}
+
+// Normal returns a normal draw with the given mean and standard
+// deviation.
+func (s *Stream) Normal(mean, stddev float64) float64 {
+	return mean + stddev*s.NormFloat64()
+}
+
+// LogNormal returns a log-normal draw where the underlying normal has
+// the given mu and sigma.
+func (s *Stream) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*s.NormFloat64())
+}
+
+// Pareto returns a draw from a Pareto distribution with the given
+// minimum value and shape alpha. Panics if alpha <= 0 or min <= 0.
+func (s *Stream) Pareto(min, alpha float64) float64 {
+	if alpha <= 0 || min <= 0 {
+		panic("rng: Pareto requires positive min and alpha")
+	}
+	u := s.Float64()
+	for u == 0 {
+		u = s.Float64()
+	}
+	return min / math.Pow(u, 1/alpha)
+}
+
+// FNV-1a, inlined: hash/fnv forces a heap allocation and interface
+// dispatch per hasher, which the callers here cannot afford. The fold
+// helpers are exported so sibling packages hash identities with the one
+// canonical byte-fold instead of duplicating the constants.
+const (
+	// FNVOffset64 is the FNV-1a 64-bit offset basis: the initial h for
+	// a chain of FNV folds.
+	FNVOffset64 uint64 = 14695981039346656037
+	fnvPrime64         = 1099511628211
+)
+
+// FNVUint64 folds the 8 little-endian bytes of v into the running
+// FNV-1a hash h.
+func FNVUint64(h, v uint64) uint64 {
+	for i := 0; i < 64; i += 8 {
+		h = (h ^ (v >> i & 0xff)) * fnvPrime64
+	}
+	return h
+}
+
+// FNVUint32 folds the 4 little-endian bytes of v into the running
+// FNV-1a hash h.
+func FNVUint32(h uint64, v uint32) uint64 {
+	for i := 0; i < 32; i += 8 {
+		h = (h ^ uint64(v>>i&0xff)) * fnvPrime64
+	}
+	return h
+}

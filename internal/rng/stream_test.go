@@ -1,0 +1,192 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStreamDeterminism(t *testing.T) {
+	a := NewStream(42)
+	b := NewStream(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestStreamDeriveIsPure(t *testing.T) {
+	base := NewStream(7)
+	// Deriving must not advance the base, and repeated derivations of
+	// the same (label, n) must agree even after the base is "used" as a
+	// value elsewhere.
+	d1 := base.Derive("ping", 123)
+	d2 := base.Derive("ping", 123)
+	for i := 0; i < 100; i++ {
+		if d1.Float64() != d2.Float64() {
+			t.Fatalf("re-derived streams diverged at draw %d", i)
+		}
+	}
+	d3 := base.Derive("ping", 124)
+	d4 := base.Derive("path", 123)
+	d5 := base.Derive("ping", 123)
+	if x := d5.Float64(); x == d3.Float64() || x == d4.Float64() {
+		t.Fatal("distinct (label, n) identities produced identical first draws")
+	}
+}
+
+func TestStreamMatchesRandSplitIdentity(t *testing.T) {
+	// Rand.Stream must share Split's (seed, label) derivation so a
+	// stream and a generator with the same identity agree across
+	// processes and versions of the consuming code.
+	g := New(99)
+	s1 := g.Stream("latency")
+	s2 := g.Stream("latency")
+	if s1 != s2 {
+		t.Fatal("Rand.Stream is not a pure function of (seed, label)")
+	}
+	if s1 == g.Stream("other") {
+		t.Fatal("distinct labels produced identical streams")
+	}
+	if s1 == New(100).Stream("latency") {
+		t.Fatal("distinct seeds produced identical streams")
+	}
+}
+
+func TestStreamUniformBits(t *testing.T) {
+	// Counter-mode SplitMix64 should look uniform even under adversarial
+	// derivation patterns (consecutive n, as the ping path uses).
+	base := NewStream(1)
+	n := 20000
+	var ones [64]int
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		s := base.Derive("bits", uint64(i))
+		v := s.Uint64()
+		for b := 0; b < 64; b++ {
+			if v>>b&1 == 1 {
+				ones[b]++
+			}
+		}
+		sum += s.Float64()
+	}
+	for b, c := range ones {
+		f := float64(c) / float64(n)
+		if f < 0.47 || f > 0.53 {
+			t.Fatalf("bit %d set in %.3f of first draws, want ~0.5", b, f)
+		}
+	}
+	if mean := sum / float64(n); mean < 0.49 || mean > 0.51 {
+		t.Fatalf("Float64 mean = %.3f, want ~0.5", mean)
+	}
+}
+
+func TestStreamBoolFrequency(t *testing.T) {
+	s := NewStream(9)
+	n := 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency = %.3f, want ~0.30", got)
+	}
+	if s.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+	if !s.Bool(1) {
+		t.Fatal("Bool(1) returned false")
+	}
+}
+
+func TestStreamNormalMoments(t *testing.T) {
+	s := NewStream(11)
+	n := 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Normal(5, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean-5) > 0.05 {
+		t.Fatalf("Normal mean = %.3f, want ~5", mean)
+	}
+	if math.Abs(variance-4) > 0.15 {
+		t.Fatalf("Normal variance = %.3f, want ~4", variance)
+	}
+}
+
+func TestStreamLogNormalMedian(t *testing.T) {
+	s := NewStream(13)
+	n := 100001
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = s.LogNormal(0, 0.35)
+	}
+	// Median of LogNormal(0, sigma) is exp(0) = 1; count below 1.
+	below := 0
+	for _, v := range vals {
+		if v < 1 {
+			below++
+		}
+	}
+	frac := float64(below) / float64(n)
+	if frac < 0.49 || frac > 0.51 {
+		t.Fatalf("LogNormal(0, .35) fraction below median = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestStreamParetoTail(t *testing.T) {
+	s := NewStream(17)
+	min, alpha := 15.0, 1.3
+	n := 50000
+	over := 0
+	for i := 0; i < n; i++ {
+		v := s.Pareto(min, alpha)
+		if v < min {
+			t.Fatalf("Pareto draw %v below min %v", v, min)
+		}
+		if v > 2*min {
+			over++
+		}
+	}
+	// P(X > 2*min) = 2^-alpha ~ 0.406 for alpha = 1.3.
+	frac := float64(over) / float64(n)
+	want := math.Pow(2, -alpha)
+	if math.Abs(frac-want) > 0.02 {
+		t.Fatalf("Pareto tail fraction = %.3f, want ~%.3f", frac, want)
+	}
+}
+
+func TestStreamUniformRange(t *testing.T) {
+	s := NewStream(19)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform(2,5) = %v out of range", v)
+		}
+	}
+	if got := s.Uniform(3, 3); got != 3 {
+		t.Fatalf("Uniform(3,3) = %v, want 3 (degenerate range)", got)
+	}
+}
+
+func TestStreamZeroAlloc(t *testing.T) {
+	base := NewStream(23)
+	allocs := testing.AllocsPerRun(1000, func() {
+		s := base.Derive("ping", 42)
+		_ = s.Bool(0.03)
+		_ = s.LogNormal(0, 0.015)
+		_ = s.Normal(0, 0.02)
+		_ = s.Uniform(0, 0.05)
+		_ = s.Pareto(15, 1.3)
+	})
+	if allocs != 0 {
+		t.Fatalf("stream derive+draws allocated %.1f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# bench.sh — run the ping/round/sweep benchmark suite and emit a
+# machine-readable BENCH_PR3.json (ns/op, B/op, allocs/op per benchmark)
+# so the performance trajectory across PRs has data points.
+#
+# Usage:
+#   scripts/bench.sh                 # writes BENCH_PR3.json in the repo root
+#   BENCH_OUT=out.json scripts/bench.sh
+#
+# The ping-level benchmarks run at full benchtime (they are nanoseconds
+# per op); the round/sweep benchmarks run one iteration each (they are
+# seconds per op). When bench/before_pr3.txt exists — the recorded
+# pre-optimization run — it is folded into the JSON as the "before"
+# section, so the emitted file carries the before/after comparison.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_PR3.json}"
+BEFORE="${BENCH_BEFORE:-bench/before_pr3.txt}"
+
+PING_BENCH='BenchmarkPingHotPath|BenchmarkPingTrain|BenchmarkBaseRTTWarm'
+ROUND_BENCH='BenchmarkRunStream|BenchmarkCampaignRound|BenchmarkSweep'
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "== ping-level benchmarks (internal/latency) ==" >&2
+go test -run '^$' -bench "$PING_BENCH" -benchmem ./internal/latency/ | tee -a "$raw" >&2
+
+echo "== round/sweep benchmarks (1 iteration each) ==" >&2
+go test -run '^$' -bench "$ROUND_BENCH" -benchtime=1x -benchmem . | tee -a "$raw" >&2
+
+# parse_bench turns `go test -bench` output into a JSON array of
+# {name, iters, ns_per_op, b_per_op, allocs_per_op} objects.
+parse_bench() {
+    awk '
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        iters = $2
+        ns = "null"; bytes = "null"; allocs = "null"
+        for (i = 3; i < NF; i++) {
+            if ($(i + 1) == "ns/op") ns = $i
+            else if ($(i + 1) == "B/op") bytes = $i
+            else if ($(i + 1) == "allocs/op") allocs = $i
+        }
+        if (n++) printf(",\n")
+        printf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", \
+               name, iters, ns, bytes, allocs)
+    }
+    END { if (n) printf("\n") }
+    ' "$1"
+}
+
+{
+    echo '{'
+    echo '  "pr": 3,'
+    echo "  \"goos\": \"$(go env GOOS)\","
+    echo "  \"goarch\": \"$(go env GOARCH)\","
+    if [ -f "$BEFORE" ]; then
+        echo '  "before": ['
+        parse_bench "$BEFORE"
+        echo '  ],'
+    fi
+    echo '  "after": ['
+    parse_bench "$raw"
+    echo '  ]'
+    echo '}'
+} > "$OUT"
+
+echo "wrote $OUT" >&2
