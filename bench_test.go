@@ -12,6 +12,7 @@ import (
 	"shortcuts/internal/relays"
 	"shortcuts/internal/report"
 	"shortcuts/internal/rng"
+	"shortcuts/internal/scenario"
 	"shortcuts/internal/sim"
 	"shortcuts/internal/topology"
 )
@@ -311,6 +312,36 @@ func BenchmarkRunStream(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		stats := measure.NewStreamStats()
 		if err := measure.RunStream(w, measure.QuickConfig(1), stats); err != nil {
+			b.Fatal(err)
+		}
+		if stats.Pairs() == 0 {
+			b.Fatal("no observations streamed")
+		}
+		cor = stats.ImprovedFraction(relays.COR)
+	}
+	b.ReportMetric(cor*100, "cor_improved_pct")
+}
+
+// BenchmarkScenarioRound times one full streaming round under the
+// "outage" disruption timeline — the dynamic-world analogue of
+// BenchmarkRunStream. The delta between the two is the total cost of
+// the scenario machinery (snapshot compile + per-train overlay
+// lookups); allocation counts expose any overlay-induced buildup on
+// the ping hot path.
+func BenchmarkScenarioRound(b *testing.B) {
+	w, _ := benchResults(b)
+	sc, err := scenario.ByName(scenario.PresetOutage)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := measure.QuickConfig(1)
+	cfg.Scenario = sc
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cor float64
+	for i := 0; i < b.N; i++ {
+		stats := measure.NewStreamStats()
+		if err := measure.RunStream(w, cfg, stats); err != nil {
 			b.Fatal(err)
 		}
 		if stats.Pairs() == 0 {

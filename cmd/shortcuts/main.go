@@ -35,6 +35,7 @@ func main() {
 		stream  = flag.Bool("stream", false, "streaming mode: constant-memory aggregates, no per-observation tables")
 		seeds   = flag.String("seeds", "", "comma-separated campaign seeds: sweep them all over ONE shared world (sweeps always run in streaming mode, so -stream is implied)")
 		par     = flag.Int("parallel", 1, "campaigns running concurrently in a -seeds sweep")
+		scen    = flag.String("scenario", "", "dynamic-world scenario the campaign runs under: "+strings.Join(shortcuts.ScenarioNames(), "|")+" (empty = static world)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -51,6 +52,13 @@ func main() {
 	defer stopProfiles()
 
 	cfg := shortcuts.Config{Seed: *seed, Rounds: *rounds, SmallWorld: *small}
+	if *scen != "" {
+		sc, err := shortcuts.ScenarioByName(*scen)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Scenario = sc
+	}
 	start := time.Now()
 	world, err := shortcuts.BuildWorld(cfg)
 	if err != nil {
@@ -65,6 +73,10 @@ func main() {
 		f.ActiveFacilityPresence, f.Geolocated)
 	fmt.Printf("%d facilities in %d cities (paper: 58 in 36)\n\n", f.Facilities, f.Cities)
 
+	if cfg.Scenario != nil {
+		fmt.Printf("scenario: %s (dynamic world)\n\n", cfg.Scenario.Name())
+	}
+
 	if *seeds != "" {
 		runSweep(world, cfg, *seeds, *par)
 		return
@@ -76,8 +88,12 @@ func main() {
 	}
 
 	progress := func(ri shortcuts.RoundInfo) {
-		fmt.Printf("round %d/%d: %d endpoints, %d/%d pairs usable, %d pings\n",
-			ri.Round+1, *rounds, ri.Endpoints, ri.PairsUsable, ri.PairsAttempted, ri.PingsSent)
+		churn := ""
+		if ri.RelaysChurned > 0 {
+			churn = fmt.Sprintf(", %d relays churned out", ri.RelaysChurned)
+		}
+		fmt.Printf("round %d/%d: %d endpoints, %d/%d pairs usable, %d pings%s\n",
+			ri.Round+1, *rounds, ri.Endpoints, ri.PairsUsable, ri.PairsAttempted, ri.PingsSent, churn)
 	}
 
 	if *stream {
@@ -187,8 +203,11 @@ func writeFigures(w *shortcuts.World, r *shortcuts.Results, dir string) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		return fn(f)
+		if err := fn(f); err != nil {
+			_ = f.Close() // the write already failed; report that error
+			return err
+		}
+		return f.Close() // surfaces buffered-write failures
 	}
 	if err := write("fig1_eyeball_cutoff.csv", func(f *os.File) error {
 		return w.WriteFig1CSV(f)
@@ -228,7 +247,7 @@ func startProfiles(cpuPath, memPath string) error {
 		return err
 	}
 	if err := pprof.StartCPUProfile(f); err != nil {
-		f.Close()
+		_ = f.Close() // the profile failed to start; the close error adds nothing
 		return err
 	}
 	profState.cpu = f
@@ -256,7 +275,9 @@ func stopProfiles() {
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, "shortcuts: memprofile:", err)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "shortcuts: memprofile:", err)
+		}
 	}
 }
 

@@ -53,8 +53,11 @@ func ImprovementCDF(res *measure.Results, t relays.Type, xs []float64) []CDFPoin
 	sort.Float64s(imps)
 	out := make([]CDFPoint, 0, len(xs))
 	for _, x := range xs {
-		k := sort.SearchFloat64s(imps, x+1e-9)
-		out = append(out, CDFPoint{X: x, Y: float64(k) / float64(len(imps))})
+		y := 0.0
+		if len(imps) > 0 {
+			y = float64(sort.SearchFloat64s(imps, x+1e-9)) / float64(len(imps))
+		}
+		out = append(out, CDFPoint{X: x, Y: y})
 	}
 	return out
 }
@@ -246,9 +249,11 @@ func ThresholdCurves(res *measure.Results, t relays.Type, topN int, thresholds [
 			}
 		}
 	}
-	for k := range out {
-		out[k].Top /= total
-		out[k].All /= total
+	if total > 0 {
+		for k := range out {
+			out[k].Top /= total
+			out[k].All /= total
+		}
 	}
 	return out
 }

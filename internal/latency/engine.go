@@ -277,12 +277,23 @@ func diurnalFactor(t time.Time, amp, midLon float64) float64 {
 
 // pingSlot prices one ping slot against resolved path state: the shared
 // core of Ping and PingTrain. asym is the direction factor (fwdAsym or
-// revAsym) the caller resolved once per train.
-func (e *Engine) pingSlot(st *pathState, hp uint64, asym float64, round, slot int, t time.Time) (time.Duration, bool) {
+// revAsym) the caller resolved once per train; eff is the scenario
+// overlay effect for the pair (NeutralEffect when no scenario is
+// active). A neutral effect is draw-for-draw and bit-for-bit identical
+// to the pre-overlay pricing: Down skips draws only when set, ExtraLoss
+// consumes a draw only when positive, and multiplying by an RTTFactor
+// of exactly 1.0 is exact in IEEE 754.
+func (e *Engine) pingSlot(st *pathState, hp uint64, asym float64, round, slot int, t time.Time, eff Effect) (time.Duration, bool) {
+	if eff.Down {
+		return 0, false
+	}
 	h := hp ^ uint64(round)<<32 ^ uint64(slot)<<16
 	g := e.base.Derive("ping", h)
 
 	if g.Bool(e.p.LossProb) {
+		return 0, false
+	}
+	if eff.ExtraLoss > 0 && g.Bool(eff.ExtraLoss) {
 		return 0, false
 	}
 	rtt := st.static
@@ -296,7 +307,27 @@ func (e *Engine) pingSlot(st *pathState, hp uint64, asym float64, round, slot in
 		}
 		rtt += float64(spike)
 	}
-	return time.Duration(rtt), true
+	return time.Duration(rtt * eff.RTTFactor), true
+}
+
+// resolvePair resolves everything a ping or train from a to b needs
+// exactly once: the cached path state, the pair hash (which doubles as
+// the per-ping RNG stream key), and the direction factor for the a->b
+// direction. Every pricing entry point — Engine.Ping, Engine.PingTrain
+// and their overlay View counterparts — goes through this one helper so
+// pair resolution cannot diverge between them.
+func (e *Engine) resolvePair(a, b Endpoint) (st *pathState, hp uint64, asym float64, err error) {
+	key := canonicalKey(a, b)
+	hp = hashPair(key)
+	st, err = e.stateByKey(key, hp)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	asym = st.fwdAsym
+	if a.Key() != key.lo {
+		asym = st.revAsym
+	}
+	return st, hp, asym, nil
 }
 
 // Ping simulates one ping from a to b during measurement round `round`,
@@ -304,17 +335,11 @@ func (e *Engine) pingSlot(st *pathState, hp uint64, asym float64, round, slot in
 // whether a reply arrived at all. Swapping a and b yields a slightly
 // different value (path asymmetry) drawn from the same path state.
 func (e *Engine) Ping(a, b Endpoint, round, slot int, t time.Time) (time.Duration, bool, error) {
-	key := canonicalKey(a, b)
-	hp := hashPair(key)
-	st, err := e.stateByKey(key, hp)
+	st, hp, asym, err := e.resolvePair(a, b)
 	if err != nil {
 		return 0, false, err
 	}
-	asym := st.fwdAsym
-	if a.Key() != key.lo {
-		asym = st.revAsym
-	}
-	rtt, ok := e.pingSlot(st, hp, asym, round, slot, t)
+	rtt, ok := e.pingSlot(st, hp, asym, round, slot, t, NeutralEffect())
 	return rtt, ok, nil
 }
 

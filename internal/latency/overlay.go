@@ -1,0 +1,95 @@
+package latency
+
+import "time"
+
+// Effect is what a scenario overlay adds to one ping: a multiplicative
+// RTT factor, an extra loss probability, and a hard availability mask.
+// The zero Effect is NOT neutral (its factor is 0); use NeutralEffect.
+type Effect struct {
+	// RTTFactor multiplies the priced RTT. 1 is neutral; multiplying by
+	// exactly 1.0 is bit-exact in IEEE 754, so a neutral effect cannot
+	// perturb a single result.
+	RTTFactor float64
+	// ExtraLoss is an additional per-ping loss probability applied after
+	// the model's own loss draw. 0 is neutral and consumes no draw, so a
+	// neutral effect leaves every stream's consumption unchanged.
+	ExtraLoss float64
+	// Down marks the path unavailable: the ping is lost before any draw.
+	Down bool
+}
+
+// NeutralEffect is the identity overlay effect: pings priced under it
+// are bit-identical to pings priced with no overlay at all.
+func NeutralEffect() Effect { return Effect{RTTFactor: 1} }
+
+// Overlay perturbs ping pricing for one measurement round without
+// touching the engine's cached path state. Implementations must be safe
+// for concurrent use and allocation-free: PairEffect runs on the ping
+// hot path, once per train.
+//
+// The overlay sees city-level granularity — the (src city, dst city)
+// attachment points of the two endpoints — which is what timeline events
+// (IXP outages, regional congestion, diurnal load) are expressed in.
+type Overlay interface {
+	PairEffect(cityA, cityB int) Effect
+}
+
+// View is an Engine bound to an optional per-round Overlay. It is a
+// value: constructing one allocates nothing, so the campaign can rebind
+// the overlay every round for free. A View with a nil overlay prices
+// pings through the exact code path of the bare engine and is
+// bit-identical to it.
+type View struct {
+	e  *Engine
+	ov Overlay
+}
+
+// View binds an overlay to the engine. ov may be nil for the neutral
+// view.
+func (e *Engine) View(ov Overlay) View { return View{e: e, ov: ov} }
+
+// Engine returns the underlying engine.
+func (v View) Engine() *Engine { return v.e }
+
+// Ping prices one ping like Engine.Ping, additionally applying the
+// overlay's effect for the endpoint pair.
+func (v View) Ping(a, b Endpoint, round, slot int, t time.Time) (time.Duration, bool, error) {
+	if v.ov == nil {
+		return v.e.Ping(a, b, round, slot, t)
+	}
+	st, hp, asym, err := v.e.resolvePair(a, b)
+	if err != nil {
+		return 0, false, err
+	}
+	eff := v.ov.PairEffect(a.City, b.City)
+	rtt, ok := v.e.pingSlot(st, hp, asym, round, slot, t, eff)
+	return rtt, ok, nil
+}
+
+// PingTrain prices a whole train like Engine.PingTrain, additionally
+// applying the overlay's effect. The effect is resolved once per train
+// (events are round-granular, and a train spans one round's window), so
+// an active overlay adds two array loads per train, not per slot.
+func (v View) PingTrain(a, b Endpoint, round int, t0 time.Time, interval time.Duration, out []PingSample) error {
+	if v.ov == nil {
+		return v.e.PingTrain(a, b, round, t0, interval, out)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	st, hp, asym, err := v.e.resolvePair(a, b)
+	if err != nil {
+		return err
+	}
+	eff := v.ov.PairEffect(a.City, b.City)
+	for slot := range out {
+		at := t0.Add(time.Duration(slot) * interval)
+		rtt, ok := v.e.pingSlot(st, hp, asym, round, slot, at, eff)
+		out[slot] = PingSample{RTT: rtt, OK: ok}
+	}
+	return nil
+}
+
+// BaseRTT returns the load-independent RTT, unaffected by the overlay
+// (scenario dynamics are transient load, not path identity).
+func (v View) BaseRTT(a, b Endpoint) (time.Duration, error) { return v.e.BaseRTT(a, b) }

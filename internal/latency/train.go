@@ -23,19 +23,13 @@ func (e *Engine) PingTrain(a, b Endpoint, round int, t0 time.Time, interval time
 	if len(out) == 0 {
 		return nil
 	}
-	key := canonicalKey(a, b)
-	hp := hashPair(key)
-	st, err := e.stateByKey(key, hp)
+	st, hp, asym, err := e.resolvePair(a, b)
 	if err != nil {
 		return err
 	}
-	asym := st.fwdAsym
-	if a.Key() != key.lo {
-		asym = st.revAsym
-	}
 	for slot := range out {
 		at := t0.Add(time.Duration(slot) * interval)
-		rtt, ok := e.pingSlot(st, hp, asym, round, slot, at)
+		rtt, ok := e.pingSlot(st, hp, asym, round, slot, at, NeutralEffect())
 		out[slot] = PingSample{RTT: rtt, OK: ok}
 	}
 	return nil

@@ -24,6 +24,7 @@ import (
 	"shortcuts/internal/latency"
 	"shortcuts/internal/relays"
 	"shortcuts/internal/rng"
+	"shortcuts/internal/scenario"
 	"shortcuts/internal/sim"
 )
 
@@ -50,13 +51,19 @@ func RunStream(w *sim.World, cfg Config, sink Sink) error {
 		return fmt.Errorf("measure: PingsPerPair (%d) below MinValidPings (%d)",
 			cfg.PingsPerPair, cfg.MinValidPings)
 	}
+	compiled, err := cfg.Scenario.Compile(w, cfg.Rounds)
+	if err != nil {
+		return fmt.Errorf("measure: %w", err)
+	}
 	c := &campaign{
-		w:      w,
-		cfg:    cfg,
-		g:      rng.New(campaignSeed(cfg, w)).Split("campaign"),
-		ledger: atlas.NewLedger(cfg.DailyCreditLimit),
-		nc:     len(w.Topo.Cities),
-		prop:   cityPropDelays(w),
+		w:        w,
+		cfg:      cfg,
+		g:        rng.New(campaignSeed(cfg, w)).Split("campaign"),
+		ledger:   atlas.NewLedger(cfg.DailyCreditLimit),
+		nc:       len(w.Topo.Cities),
+		prop:     cityPropDelays(w),
+		scenario: compiled,
+		view:     w.Engine.View(nil),
 	}
 	for round := 0; round < cfg.Rounds; round++ {
 		info, err := c.runRound(round, sink)
@@ -85,6 +92,13 @@ type campaign struct {
 	nc     int             // city count (side of the prop matrix)
 	prop   []time.Duration // flat nc x nc one-way propagation delays
 
+	// scenario is the compiled dynamic-world timeline (nil when none is
+	// configured); view is the engine bound to the current round's
+	// snapshot. view is rebound at the start of each round, before the
+	// worker pool spawns, and only read by workers.
+	scenario *scenario.Compiled
+	view     latency.View
+
 	// Round-local scratch, reused across rounds (rounds run
 	// sequentially; only the worker pool inside a round is parallel, and
 	// workers never write these concurrently with each other's slots).
@@ -112,6 +126,17 @@ func cityPropDelays(w *sim.World) []time.Duration {
 func (c *campaign) runRound(round int, sink Sink) (RoundInfo, error) {
 	start := c.cfg.Start.Add(time.Duration(round) * c.cfg.RoundInterval)
 	info := RoundInfo{Round: round, Start: start}
+
+	// Bind this round's scenario snapshot to the engine view. The
+	// branch avoids wrapping a typed-nil *Snapshot in the Overlay
+	// interface: a nil interface selects the bare-engine fast path for
+	// quiet rounds, bit-identical to a scenario-free campaign.
+	snap := c.scenario.Snapshot(round)
+	if snap != nil {
+		c.view = c.w.Engine.View(snap)
+	} else {
+		c.view = c.w.Engine.View(nil)
+	}
 
 	// Step 1: endpoint selection.
 	endpoints := c.w.Selector.SampleEndpoints(c.g, round)
@@ -196,6 +221,17 @@ func (c *campaign) runRound(round int, sink Sink) (RoundInfo, error) {
 	for pos, ri := range roundRelays {
 		relayCity[pos] = c.w.Catalog.Relays[ri].City
 	}
+	// Scenario relay churn: churned-out relays are invisible to the
+	// feasibility filter this round — they neither count as feasible nor
+	// get legs measured, exactly as if the liveness checks had dropped
+	// them from the sample.
+	relayIn := make([]bool, nr)
+	for pos, ri := range roundRelays {
+		relayIn[pos] = !snap.RelayOut(ri)
+		if !relayIn[pos] {
+			info.RelaysChurned++
+		}
+	}
 	needLeg := make([]bool, ne*nr)
 	if cap(c.feasOff) < len(pairs)+1 {
 		c.feasOff = make([]int, len(pairs)+1)
@@ -210,6 +246,9 @@ func (c *campaign) runRound(round int, sink Sink) (RoundInfo, error) {
 		a, b := endpoints[p.i], endpoints[p.j]
 		directRTT := time.Duration(float64(fwd[k]) * float64(time.Millisecond))
 		for pos := 0; pos < nr; pos++ {
+			if !relayIn[pos] {
+				continue
+			}
 			if c.feasible(a.City, relayCity[pos], b.City, directRTT) {
 				feasBuf = append(feasBuf, int32(pos))
 				if relayUp[pos] {
@@ -350,7 +389,7 @@ func (c *campaign) medianRTT(s *scratch, a, b latency.Endpoint, round int, windo
 		s.vals = make([]float64, 0, n)
 	}
 	train := s.train[:n]
-	if err := c.w.Engine.PingTrain(a, b, round, windowStart, c.cfg.PingInterval, train); err != nil {
+	if err := c.view.PingTrain(a, b, round, windowStart, c.cfg.PingInterval, train); err != nil {
 		return 0, 0, err
 	}
 	vals := s.vals[:0]

@@ -1,6 +1,10 @@
 package measure
 
-import "time"
+import (
+	"time"
+
+	"shortcuts/internal/scenario"
+)
 
 // Config sets the campaign schedule of Section 2.5.
 type Config struct {
@@ -32,6 +36,14 @@ type Config struct {
 	// DailyCreditLimit is the RIPE Atlas credit budget per day; the
 	// campaign fails if a round would exceed it. <= 0 disables.
 	DailyCreditLimit int64
+	// Scenario, when non-nil, is the dynamic-world timeline the campaign
+	// runs under: it is compiled against the world at campaign start
+	// into per-round snapshots whose factors overlay the latency engine
+	// and whose churn masks prune the relay feasibility filter. The
+	// world itself is never mutated, so calm and disrupted campaigns can
+	// share one world concurrently. Nil (or an event-free scenario)
+	// reproduces the static world bit-for-bit.
+	Scenario *scenario.Scenario
 	// DisableFeasibilityFilter skips the Section-2.4 speed-of-light
 	// relay pre-filter and measures every sampled relay against every
 	// pair. This is an ablation switch: results must be unchanged (the

@@ -73,6 +73,9 @@ type RoundInfo struct {
 	// PairsAttempted counts endpoint pairs whose direct path was
 	// measured this round, before the >=3-replies validity cut.
 	PairsAttempted int
+	// RelaysChurned counts sampled relays removed this round by the
+	// scenario's churn events (skipped by the feasibility filter).
+	RelaysChurned int
 }
 
 // Results is the full campaign output. It is itself a Sink: Run wires

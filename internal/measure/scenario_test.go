@@ -1,0 +1,176 @@
+package measure
+
+import (
+	"testing"
+
+	"shortcuts/internal/relays"
+	"shortcuts/internal/scenario"
+	"shortcuts/internal/sim"
+)
+
+// TestScenarioOffIsBitIdentical proves the overlay hook costs nothing
+// when unused: a campaign with no scenario and a campaign under the
+// event-free "calm" scenario produce bit-identical Results — the
+// scenario-off ≡ pre-scenario-architecture invariant.
+func TestScenarioOffIsBitIdentical(t *testing.T) {
+	w, err := sim.Build(sim.SmallWorldParams(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run(w, QuickConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := QuickConfig(2)
+	cfg.Scenario = scenario.Calm()
+	calm, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observationsEqual(t, "nil-vs-calm", plain, calm)
+}
+
+// TestScenarioDeterminismMatrix proves a DISRUPTED campaign is still
+// bit-identical across measurement concurrency and engine cache shards:
+// scenario draws derive from (seed, scenario, event, entity), never
+// from scheduling.
+func TestScenarioDeterminismMatrix(t *testing.T) {
+	const seed = 43
+	sc, err := scenario.ByName(scenario.PresetOutage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Add(scenario.RelayChurn{Fraction: 0.3})
+
+	build := func(shards int) *sim.World {
+		wp := sim.SmallWorldParams(seed)
+		wp.Latency.CacheShards = shards
+		w, err := sim.BuildWith(wp, sim.BuildOptions{Workers: 8, WarmRoutes: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	run := func(w *sim.World, concurrency int) *Results {
+		cfg := QuickConfig(3)
+		cfg.Concurrency = concurrency
+		cfg.Scenario = sc
+		res, err := Run(w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	ref := run(build(1), 1)
+	combos := []struct{ concurrency, shards int }{
+		{concurrency: 8, shards: 1},
+		{concurrency: 1, shards: 8},
+		{concurrency: 8, shards: 8},
+	}
+	if testing.Short() {
+		combos = combos[2:]
+	}
+	for _, c := range combos {
+		res := run(build(c.shards), c.concurrency)
+		observationsEqual(t, "scenario-matrix", ref, res)
+	}
+
+	// And the disruption must actually disrupt: the outage windows
+	// change measured RTTs vs. the calm world.
+	calm, err := Run(build(1), QuickConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calm.Observations) == len(ref.Observations) {
+		same := true
+		for i := range calm.Observations {
+			if calm.Observations[i].DirectMs != ref.Observations[i].DirectMs {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("outage scenario produced bit-identical results to calm world")
+		}
+	}
+}
+
+// TestScenarioChurnPrunesRelays proves churned-out relays vanish from
+// the feasibility filter: feasible counts drop and RoundInfo reports
+// the churn.
+func TestScenarioChurnPrunesRelays(t *testing.T) {
+	w, err := sim.Build(sim.SmallWorldParams(47))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calm, err := Run(w, QuickConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := QuickConfig(2)
+	cfg.Scenario = scenario.New("heavy-churn", scenario.RelayChurn{Fraction: 0.9})
+	churned, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sawChurn := false
+	for _, ri := range churned.Rounds {
+		if ri.RelaysChurned > 0 {
+			sawChurn = true
+		}
+	}
+	if !sawChurn {
+		t.Fatal("no round reported churned relays under Fraction 0.9")
+	}
+	for _, ri := range calm.Rounds {
+		if ri.RelaysChurned != 0 {
+			t.Fatal("calm campaign reported churned relays")
+		}
+	}
+
+	feas := func(res *Results) int64 {
+		var n int64
+		for i := range res.Observations {
+			for ty := 0; ty < relays.NumTypes; ty++ {
+				n += int64(res.Observations[i].FeasibleCount[ty])
+			}
+		}
+		return n
+	}
+	if fc, fk := feas(churned), feas(calm); fc >= fk {
+		t.Fatalf("churn did not shrink the feasible relay universe: %d vs calm %d", fc, fk)
+	}
+}
+
+// TestScenarioBlackholeLosesPairs proves a blackholed hub degrades
+// usability: rounds inside the outage lose pairs relative to calm.
+func TestScenarioBlackholeLosesPairs(t *testing.T) {
+	w, err := sim.Build(sim.SmallWorldParams(53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calm, err := Run(w, QuickConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := QuickConfig(2)
+	cfg.Scenario = scenario.New("hub-blackhole",
+		scenario.IXPOutage{City: scenario.CityRef{HubRank: 0}, Blackhole: true})
+	dark, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calmUsable, darkUsable := 0, 0
+	for i := range calm.Rounds {
+		calmUsable += calm.Rounds[i].PairsUsable
+		darkUsable += dark.Rounds[i].PairsUsable
+	}
+	if darkUsable >= calmUsable {
+		t.Fatalf("blackhole did not lose pairs: %d usable vs calm %d", darkUsable, calmUsable)
+	}
+	if darkUsable == 0 {
+		t.Fatal("blackholing one hub lost every pair — overlay is over-applying")
+	}
+}

@@ -40,6 +40,7 @@ func TwoRelayExperiment(w *sim.World, cfg Config, round, maxPairs, maxRelays int
 		ledger: nil, // extension experiment: outside the campaign budget
 		nc:     len(w.Topo.Cities),
 		prop:   cityPropDelays(w),
+		view:   w.Engine.View(nil), // static world: the extension ignores scenarios
 	}
 	start := cfg.Start.Add(time.Duration(round) * cfg.RoundInterval)
 

@@ -53,6 +53,20 @@ func (s Stream) Derive(label string, n uint64) Stream {
 	return Stream{state: h}
 }
 
+// Named returns an independent stream identified by (s, name): the
+// string-keyed analogue of Derive, for chains of event identities where
+// the discriminator is a name rather than a counter (scenario → event →
+// entity). Like Derive it is a pure hash of the receiver's identity, so
+// it allocates nothing and never advances the receiver.
+func (s Stream) Named(name string) Stream {
+	h := FNVOffset64
+	h = FNVUint64(h, s.state)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * fnvPrime64
+	}
+	return Stream{state: h}
+}
+
 // Uint64 advances the stream and returns the next 64 uniform bits.
 func (s *Stream) Uint64() uint64 {
 	s.state += smGamma
@@ -86,6 +100,15 @@ func (s *Stream) Uniform(lo, hi float64) float64 {
 		return lo
 	}
 	return lo + s.Float64()*(hi-lo)
+}
+
+// IntBetween returns a uniform integer in [lo, hi] inclusive. If hi <= lo
+// it returns lo without consuming a draw, matching Rand.IntBetween.
+func (s *Stream) IntBetween(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + int(s.Uint64()%uint64(hi-lo+1))
 }
 
 // NormFloat64 returns a standard normal draw via Box-Muller. Exactly two

@@ -1,35 +1,44 @@
 #!/usr/bin/env bash
 # bench.sh — run the ping/round/sweep benchmark suite and emit a
-# machine-readable BENCH_PR3.json (ns/op, B/op, allocs/op per benchmark)
-# so the performance trajectory across PRs has data points.
+# machine-readable BENCH_<ref>.json (ns/op, B/op, allocs/op per
+# benchmark), or compare two such files and fail on regression, so the
+# performance trajectory across PRs has data points AND a tripwire.
 #
 # Usage:
-#   scripts/bench.sh                 # writes BENCH_PR3.json in the repo root
-#   BENCH_OUT=out.json scripts/bench.sh
+#   scripts/bench.sh                    # run suite, write BENCH_<ref>.json
+#   scripts/bench.sh --compare OLD NEW  # fail if NEW regresses >25% vs OLD
+#   scripts/bench.sh --help
 #
-# The ping-level benchmarks run at full benchtime (they are nanoseconds
-# per op); the round/sweep benchmarks run one iteration each (they are
-# seconds per op). When bench/before_pr3.txt exists — the recorded
-# pre-optimization run — it is folded into the JSON as the "before"
-# section, so the emitted file carries the before/after comparison.
+# Run mode:
+#   The output name derives from the current git ref (branch name, or
+#   short commit hash when detached), sanitized to [A-Za-z0-9_-];
+#   override it with BENCH_REF=myref or the full path with
+#   BENCH_OUT=out.json. The ping-level benchmarks run at full benchtime
+#   (they are nanoseconds per op); the round/sweep benchmarks run one
+#   iteration each (they are seconds per op). When bench/before_pr3.txt
+#   exists — the recorded pre-optimization run — it is folded into the
+#   JSON as the "before" section.
+#
+# Compare mode:
+#   scripts/bench.sh --compare old.json new.json
+#   Matches benchmarks by name between OLD's "after" section and NEW's
+#   "after" section and reports the ns/op ratio for each. Exits 1 when
+#   any shared benchmark regressed by more than the threshold (default
+#   25%; override with BENCH_THRESHOLD_PCT). Benchmarks present in only
+#   one file are reported but never fail the comparison. CI runs this
+#   non-blocking against the checked-in baseline: shared runners are
+#   noisy, so the compare is a visibility step, not a gate — the
+#   allocs/op invariants that must hold are enforced by AllocsPerRun
+#   tests in the test job.
 set -euo pipefail
 
+# All paths — run-mode outputs and compare-mode inputs alike — resolve
+# against the repo root, whatever directory the script is invoked from.
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_PR3.json}"
-BEFORE="${BENCH_BEFORE:-bench/before_pr3.txt}"
-
-PING_BENCH='BenchmarkPingHotPath|BenchmarkPingTrain|BenchmarkBaseRTTWarm'
-ROUND_BENCH='BenchmarkRunStream|BenchmarkCampaignRound|BenchmarkSweep'
-
-raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
-
-echo "== ping-level benchmarks (internal/latency) ==" >&2
-go test -run '^$' -bench "$PING_BENCH" -benchmem ./internal/latency/ | tee -a "$raw" >&2
-
-echo "== round/sweep benchmarks (1 iteration each) ==" >&2
-go test -run '^$' -bench "$ROUND_BENCH" -benchtime=1x -benchmem . | tee -a "$raw" >&2
+# usage prints the header comment block (every leading # line after the
+# shebang), so editing the header keeps --help in sync automatically.
+usage() { awk 'NR > 1 { if (!/^#/) exit; sub(/^# ?/, ""); print }' "$0"; }
 
 # parse_bench turns `go test -bench` output into a JSON array of
 # {name, iters, ns_per_op, b_per_op, allocs_per_op} objects.
@@ -53,9 +62,95 @@ parse_bench() {
     ' "$1"
 }
 
+# extract_after pulls "name ns_per_op" pairs out of a bench JSON's
+# "after" section (the live-run numbers).
+extract_after() {
+    awk '
+    /"after"/ { in_after = 1; next }
+    in_after && /"name"/ {
+        line = $0
+        sub(/.*"name": "/, "", line); name = line; sub(/".*/, "", name)
+        line = $0
+        sub(/.*"ns_per_op": /, "", line); ns = line; sub(/[,}].*/, "", ns)
+        if (ns != "null" && name != "") print name, ns
+    }
+    ' "$1"
+}
+
+compare() {
+    local old="$1" new="$2" threshold="${BENCH_THRESHOLD_PCT:-25}"
+    [ -f "$old" ] || { echo "bench.sh: baseline $old not found" >&2; exit 2; }
+    [ -f "$new" ] || { echo "bench.sh: candidate $new not found" >&2; exit 2; }
+    oldvals="$(mktemp)"
+    newvals="$(mktemp)"
+    trap 'rm -f "${oldvals:-}" "${newvals:-}"' EXIT
+    extract_after "$old" > "$oldvals"
+    extract_after "$new" > "$newvals"
+
+    echo "== bench compare: $new vs baseline $old (fail > ${threshold}% ns/op regression) =="
+    awk -v threshold="$threshold" '
+    NR == FNR { base[$1] = $2; next }
+    {
+        if ($1 in base) {
+            ratio = 100 * ($2 - base[$1]) / base[$1]
+            verdict = "ok"
+            if (ratio > threshold) { verdict = "REGRESSED"; failed = 1 }
+            printf("%-40s %14.1f -> %14.1f ns/op  %+7.1f%%  %s\n", $1, base[$1], $2, ratio, verdict)
+            seen[$1] = 1
+            shared++
+        } else {
+            printf("%-40s %31s %14.1f ns/op      new (no baseline)\n", $1, "", $2)
+        }
+    }
+    END {
+        for (name in base) if (!(name in seen))
+            printf("%-40s %14.1f ns/op: missing from candidate\n", name, base[name])
+        # Zero shared benchmarks means the inputs did not parse (format
+        # drift, wrong files): that must disarm loudly, not pass.
+        if (!shared) {
+            print "bench.sh: no shared benchmarks between baseline and candidate — nothing was compared" > "/dev/stderr"
+            exit 2
+        }
+        exit failed
+    }
+    ' "$oldvals" "$newvals"
+}
+
+case "${1:-}" in
+    -h|--help) usage; exit 0 ;;
+    --compare)
+        [ $# -eq 3 ] || { echo "bench.sh: --compare needs OLD and NEW" >&2; exit 2; }
+        compare "$2" "$3"
+        exit $? ;;
+    "") ;;
+    *) echo "bench.sh: unknown argument $1 (see --help)" >&2; exit 2 ;;
+esac
+
+# Resolve the output ref: explicit BENCH_REF, else branch, else short
+# hash; sanitize so the name is always a safe filename.
+ref="${BENCH_REF:-}"
+if [ -z "$ref" ]; then
+    ref="$(git symbolic-ref --short -q HEAD || git rev-parse --short HEAD 2>/dev/null || echo local)"
+fi
+ref="$(printf '%s' "$ref" | tr -c 'A-Za-z0-9_-' '_')"
+OUT="${BENCH_OUT:-BENCH_${ref}.json}"
+BEFORE="${BENCH_BEFORE:-bench/before_pr3.txt}"
+
+PING_BENCH='BenchmarkPingHotPath|BenchmarkPingTrain|BenchmarkBaseRTTWarm'
+ROUND_BENCH='BenchmarkRunStream|BenchmarkCampaignRound|BenchmarkSweep|BenchmarkScenarioRound'
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "== ping-level benchmarks (internal/latency) ==" >&2
+go test -run '^$' -bench "$PING_BENCH" -benchmem ./internal/latency/ | tee -a "$raw" >&2
+
+echo "== round/sweep/scenario benchmarks (1 iteration each) ==" >&2
+go test -run '^$' -bench "$ROUND_BENCH" -benchtime=1x -benchmem . | tee -a "$raw" >&2
+
 {
     echo '{'
-    echo '  "pr": 3,'
+    echo "  \"ref\": \"$ref\","
     echo "  \"goos\": \"$(go env GOOS)\","
     echo "  \"goarch\": \"$(go env GOARCH)\","
     if [ -f "$BEFORE" ]; then

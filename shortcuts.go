@@ -93,6 +93,9 @@ type Config struct {
 	SmallWorld bool
 	// Concurrency bounds the measurement worker pool; 0 means GOMAXPROCS.
 	Concurrency int
+	// Scenario, when non-nil, runs the campaign under a dynamic-world
+	// timeline (see Scenario); nil measures the calm, static world.
+	Scenario *Scenario
 }
 
 // DefaultConfig returns the paper's full campaign: the default world and

@@ -22,6 +22,7 @@ type RoundInfo struct {
 	PairsAttempted int // direct paths measured this round
 	PairsUsable    int // of those, pairs with a valid direct median
 	PingsSent      int64
+	RelaysChurned  int // sampled relays removed this round by scenario churn
 }
 
 // ImproveEntry records one relay that beat the direct path for a pair.
@@ -171,6 +172,7 @@ func publicRoundInfo(info measure.RoundInfo) RoundInfo {
 		PairsAttempted: info.PairsAttempted,
 		PairsUsable:    info.PairsUsable,
 		PingsSent:      info.PingsSent,
+		RelaysChurned:  info.RelaysChurned,
 	}
 }
 

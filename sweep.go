@@ -17,11 +17,14 @@ import (
 // across-worlds question instead — how robust a finding is to the
 // synthetic Internet itself.
 type Sweep struct {
-	// Config is the campaign template: Rounds and Concurrency apply to
-	// every campaign, and Seed serves only as the default when Seeds is
-	// empty. With World nil, SmallWorld selects the per-seed world
-	// dimensions (each world is seeded with its campaign seed); with
-	// World set, SmallWorld is ignored.
+	// Config is the campaign template: Rounds, Concurrency and Scenario
+	// apply to every campaign, and Seed serves only as the default when
+	// Seeds is empty. With World nil, SmallWorld selects the per-seed
+	// world dimensions (each world is seeded with its campaign seed);
+	// with World set, SmallWorld is ignored. Setting Config.Scenario
+	// runs the whole sweep under that disruption timeline — run one
+	// sweep with it nil (or "calm") and one with it set to compare
+	// remedy value in calm vs. disrupted worlds over the same seeds.
 	Config Config
 	// Seeds are the campaign seeds, one campaign per entry, reported in
 	// order. Empty defaults to {Config.Seed}. Seed 0 is the inherit
