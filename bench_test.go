@@ -76,9 +76,17 @@ func BenchmarkWorldBuild(b *testing.B) {
 }
 
 // BenchmarkCampaignRound times one full measurement round (~190k pings:
-// endpoint sampling, direct mesh, feasibility, legs, stitching).
+// endpoint sampling, direct mesh, feasibility, legs, stitching) as a
+// fresh single-round campaign over the shared world. The timer is reset
+// after the shared fixture so the measurement covers the round, not the
+// world build and warmup campaign benchResults performs once per test
+// binary (before PR 5 the fixture cost was silently folded into this
+// benchmark's first iteration). The warm marginal-round cost lives in
+// internal/measure's BenchmarkCampaignRoundSteadyState.
 func BenchmarkCampaignRound(b *testing.B) {
 	w, _ := benchResults(b)
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := measure.Run(w, measure.QuickConfig(1))
 		if err != nil {

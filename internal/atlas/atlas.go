@@ -67,6 +67,20 @@ type Platform struct {
 	byAS   map[topology.ASN][]*Probe
 	avail  *rng.Rand // seeds the per-(probe, round) availability draws
 
+	// eligible memoizes EligibleIn per (asn, cc): probe attributes are
+	// immutable after Generate, and the campaign's endpoint sampler asks
+	// for the same tuples every round, so the filter runs once per tuple
+	// per platform instead of once per query.
+	eligible map[eligKey][]*Probe
+
+	// probeLabel/windowLabel are the per-probe availability stream
+	// labels, precomputed so the per-round Responsive and WindowUp draws
+	// don't rebuild identical strings millions of times per campaign.
+	// Indexed directly by ProbeID (IDs are dense but start at 1000, so
+	// the first thousand slots stay empty — cheaper than offset math).
+	probeLabel  []string
+	windowLabel []string
+
 	// OfflineProb is the per-round probability that a probe is offline
 	// at selection time.
 	OfflineProb float64
@@ -75,6 +89,12 @@ type Platform struct {
 	// Together with OfflineProb this drives the paper's ~84% destination
 	// responsiveness.
 	WindowOutageProb float64
+}
+
+// eligKey identifies one (ASN, country) eligibility query.
+type eligKey struct {
+	asn topology.ASN
+	cc  string
 }
 
 // Params controls fleet generation.
@@ -192,7 +212,31 @@ func Generate(g *rng.Rand, topo *topology.Topology, p Params) *Platform {
 			id++
 		}
 	}
+	pl.finalize()
 	return pl
+}
+
+// finalize builds the post-generation lookup structures: the per-(asn,
+// cc) eligibility memo and the per-probe availability-stream labels.
+// Probe attributes never change after Generate, so both are immutable.
+func (pl *Platform) finalize() {
+	pl.eligible = make(map[eligKey][]*Probe)
+	maxID := ProbeID(0)
+	for _, p := range pl.probes {
+		if p.Eligible() {
+			k := eligKey{asn: p.AS, cc: p.CC}
+			pl.eligible[k] = append(pl.eligible[k], p)
+		}
+		if p.ID > maxID {
+			maxID = p.ID
+		}
+	}
+	pl.probeLabel = make([]string, int(maxID)+1)
+	pl.windowLabel = make([]string, int(maxID)+1)
+	for _, p := range pl.probes {
+		pl.probeLabel[p.ID] = fmt.Sprintf("probe-%d", p.ID)
+		pl.windowLabel[p.ID] = fmt.Sprintf("window-%d", p.ID)
+	}
 }
 
 func firmwareDraw(g *rng.Rand, currentProb float64) int {
@@ -218,8 +262,12 @@ func (pl *Platform) ProbesIn(cc string) []*Probe { return pl.byCC[cc] }
 func (pl *Platform) ProbesOf(asn topology.ASN) []*Probe { return pl.byAS[asn] }
 
 // EligibleIn returns eligible probes in (asn, cc), the unit the paper's
-// two-step endpoint sampling draws from.
+// two-step endpoint sampling draws from. The result is memoized (probe
+// attributes are immutable after Generate): callers must not mutate it.
 func (pl *Platform) EligibleIn(asn topology.ASN, cc string) []*Probe {
+	if pl.eligible != nil {
+		return pl.eligible[eligKey{asn: asn, cc: cc}]
+	}
 	var out []*Probe
 	for _, p := range pl.byAS[asn] {
 		if p.CC == cc && p.Eligible() {
@@ -239,12 +287,22 @@ func (pl *Platform) Countries() []string {
 	return out
 }
 
+// availLabel returns the precomputed stream label for the probe, or
+// formats one for IDs outside the generated fleet (hand-built tests).
+// The string content is exactly what SplitN always received, so the
+// memo cannot shift a single availability draw.
+func (pl *Platform) availLabel(labels []string, format string, id ProbeID) string {
+	if i := int(id); i >= 0 && i < len(labels) && labels[i] != "" {
+		return labels[i]
+	}
+	return fmt.Sprintf(format, id)
+}
+
 // Responsive reports whether the probe is online for the given round at
 // selection time. The draw is a pure function of (platform seed, probe,
 // round).
 func (pl *Platform) Responsive(id ProbeID, round int) bool {
-	g := pl.avail.SplitN(fmt.Sprintf("probe-%d", id), round)
-	return !g.Bool(pl.OfflineProb)
+	return !pl.avail.BoolSplitN(pl.availLabel(pl.probeLabel, "probe-%d", id), round, pl.OfflineProb)
 }
 
 // WindowUp reports whether the probe keeps answering through the round's
@@ -252,6 +310,5 @@ func (pl *Platform) Responsive(id ProbeID, round int) bool {
 // be Responsive yet suffer a mid-window outage — that attrition is what
 // limits the paper's campaign to ~84% responsive destinations.
 func (pl *Platform) WindowUp(id ProbeID, round int) bool {
-	g := pl.avail.SplitN(fmt.Sprintf("window-%d", id), round)
-	return !g.Bool(pl.WindowOutageProb)
+	return !pl.avail.BoolSplitN(pl.availLabel(pl.windowLabel, "window-%d", id), round, pl.WindowOutageProb)
 }

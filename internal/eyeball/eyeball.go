@@ -113,13 +113,19 @@ func (s *Selector) ASes() []topology.ASN {
 func (s *Selector) SampleEndpoints(g *rng.Rand, round int) []*atlas.Probe {
 	g = g.SplitN("endpoints", round)
 	var out []*atlas.Probe
+	// Permutations are drawn into two reused buffers (the AS walk stays
+	// live while probe walks run inside it) — identical draw sequence to
+	// the allocating Perm, once per country instead of once per call.
+	var asPerm, probePerm []int
 	for _, cc := range s.countries {
 		asns := s.byCountry[cc]
 		// Try ASes in random order until one yields a responsive probe.
 		var chosen *atlas.Probe
-		for _, ai := range g.Perm(len(asns)) {
+		asPerm = g.PermInto(asPerm, len(asns))
+		for _, ai := range asPerm {
 			probes := s.platform.EligibleIn(asns[ai], cc)
-			for _, pi := range g.Perm(len(probes)) {
+			probePerm = g.PermInto(probePerm, len(probes))
+			for _, pi := range probePerm {
 				if s.platform.Responsive(probes[pi].ID, round) {
 					chosen = probes[pi]
 					break

@@ -1,0 +1,139 @@
+package latency
+
+// pairTable is an open-addressed hash table mapping pairKey to an inline
+// pathState value — the storage behind each cache shard. Compared with
+// the previous map[pairKey]*pathState it removes one heap object and one
+// pointer chase per cached pair, and because an entry contains no
+// pointers at all, a sweep caching hundreds of thousands of pairs adds
+// zero GC scan work.
+//
+// Concurrency contract (enforced by the shard's RWMutex, not here): all
+// mutation happens under the shard's write lock, lookups under at least
+// the read lock. Entries are never overwritten or deleted once inserted,
+// and growth allocates a fresh slab rather than moving the old one, so a
+// *pathState returned by get/put stays valid — pointing into immutable
+// memory — after the lock is released, even across later growth.
+type pairTable struct {
+	entries []pairEntry // len is the capacity, always a power of two
+	n       int         // occupied slots
+}
+
+// pairEntry is one slot: the normalized pair hash (0 marks an empty
+// slot), the full key for collision resolution, and the state value
+// stored inline.
+type pairEntry struct {
+	hash uint64
+	key  pairKey
+	st   pathState
+}
+
+// pairTableMinCap is the capacity of a shard's first slab. Small, so an
+// engine with many shards but few cached pairs stays cheap; doubling
+// growth takes over from there.
+const pairTableMinCap = 64
+
+// pairTableMaxLoadNum/Den cap the load factor at 3/4 before growth.
+const (
+	pairTableMaxLoadNum = 3
+	pairTableMaxLoadDen = 4
+)
+
+// normPairHash maps the raw pair hash into the table's nonzero hash
+// domain: 0 is the empty-slot sentinel, so a (cosmically unlikely) real
+// hash of 0 is folded onto 1. Every table operation must receive hashes
+// through this function so probing stays consistent across growth.
+func normPairHash(h uint64) uint64 {
+	if h == 0 {
+		return 1
+	}
+	return h
+}
+
+// get returns the cached state for key, or nil. h must be normalized.
+func (t *pairTable) get(h uint64, key pairKey) *pathState {
+	if len(t.entries) == 0 {
+		return nil
+	}
+	mask := uint64(len(t.entries) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		e := &t.entries[i]
+		if e.hash == 0 {
+			return nil
+		}
+		if e.hash == h && e.key == key {
+			return &e.st
+		}
+	}
+}
+
+// put inserts (key, st) — the key must not already be present — and
+// returns a pointer to the stored value. h must be normalized.
+func (t *pairTable) put(h uint64, key pairKey, st pathState) *pathState {
+	if pairTableMaxLoadDen*(t.n+1) > pairTableMaxLoadNum*len(t.entries) {
+		t.grow()
+	}
+	mask := uint64(len(t.entries) - 1)
+	i := h & mask
+	for t.entries[i].hash != 0 {
+		i = (i + 1) & mask
+	}
+	e := &t.entries[i]
+	e.hash, e.key, e.st = h, key, st
+	t.n++
+	return &e.st
+}
+
+// grow doubles the capacity (or allocates the first slab) and reinserts
+// every entry by its stored hash. The old slab is left untouched:
+// pointers into it handed out before the growth remain valid.
+func (t *pairTable) grow() {
+	newCap := pairTableMinCap
+	if len(t.entries) > 0 {
+		newCap = 2 * len(t.entries)
+	}
+	old := t.entries
+	t.entries = make([]pairEntry, newCap)
+	mask := uint64(newCap - 1)
+	for i := range old {
+		if old[i].hash == 0 {
+			continue
+		}
+		j := old[i].hash & mask
+		for t.entries[j].hash != 0 {
+			j = (j + 1) & mask
+		}
+		t.entries[j] = old[i]
+	}
+}
+
+// CacheShardStats describes one path-state cache shard: its occupancy,
+// its current slot capacity, and the resulting load factor (occupied /
+// capacity, 0 for an untouched shard). The table grows at a load factor
+// of 0.75, so a healthy shard reports a value in (0, 0.75].
+type CacheShardStats struct {
+	Entries  int
+	Capacity int
+}
+
+// LoadFactor returns Entries/Capacity, or 0 for an empty shard.
+func (s CacheShardStats) LoadFactor() float64 {
+	if s.Capacity == 0 {
+		return 0
+	}
+	return float64(s.Entries) / float64(s.Capacity)
+}
+
+// CacheStats reports per-shard occupancy of the path-state cache, in
+// shard order. CachedPairs is the sum of Entries across the result;
+// this view additionally exposes how full each open-addressed table is,
+// so skewed shard hashing or runaway growth is observable.
+func (e *Engine) CacheStats() []CacheShardStats {
+	out := make([]CacheShardStats, len(e.shards))
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.RLock()
+		out[i] = CacheShardStats{Entries: s.tab.n, Capacity: len(s.tab.entries)}
+		s.mu.RUnlock()
+	}
+	return out
+}

@@ -54,13 +54,14 @@ type Engine struct {
 	mask   uint64
 }
 
-// cacheShard is one lock-striped slice of the path-state cache. Padding
-// to a full 64-byte cache line keeps neighbouring shards from false
-// sharing under write-heavy warmup.
+// cacheShard is one lock-striped slice of the path-state cache: an
+// open-addressed table of inline pathState values (see pairTable in
+// cache.go). Padding to a full 64-byte cache line keeps neighbouring
+// shards from false sharing under write-heavy warmup.
 type cacheShard struct {
-	mu   sync.RWMutex // 24 bytes
-	base map[pairKey]*pathState
-	_    [32]byte
+	mu  sync.RWMutex // 24 bytes
+	tab pairTable    // 32 bytes
+	_   [8]byte
 }
 
 // pairKey is the canonical (unordered) identity of an endpoint pair.
@@ -112,17 +113,15 @@ func New(router *bgp.Router, p Params, root *rng.Rand) *Engine {
 		n = DefaultCacheShards
 	}
 	n = ceilPow2(n)
-	e := &Engine{
+	// Shard tables start empty and allocate their first slab on first
+	// insert, so a high shard count costs nothing until pairs are cached.
+	return &Engine{
 		router: router,
 		p:      p,
 		base:   root.Stream("latency"),
 		shards: make([]cacheShard, n),
 		mask:   uint64(n - 1),
 	}
-	for i := range e.shards {
-		e.shards[i].base = make(map[pairKey]*pathState)
-	}
-	return e
 }
 
 // ceilPow2 rounds n up to the next power of two.
@@ -149,36 +148,35 @@ func (e *Engine) state(a, b Endpoint) (*pathState, error) {
 // stateByKey is the cache lookup given a precomputed pair hash; the ping
 // path reuses the hash it already needs for the per-ping RNG stream.
 func (e *Engine) stateByKey(key pairKey, h uint64) (*pathState, error) {
+	h = normPairHash(h)
 	s := &e.shards[h&e.mask]
 	s.mu.RLock()
-	st, ok := s.base[key]
+	st := s.tab.get(h, key)
 	s.mu.RUnlock()
-	if ok {
+	if st != nil {
 		return st, nil
 	}
-	st, err := e.computeState(key)
+	computed, err := e.computeState(key)
 	if err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
-	if prior, ok := s.base[key]; ok {
-		st = prior // a racing worker won; keep its pointer stable
-	} else {
-		s.base[key] = st
-	}
+	if st = s.tab.get(h, key); st == nil {
+		st = s.tab.put(h, key, computed)
+	} // else a racing worker won; keep its slot
 	s.mu.Unlock()
 	return st, nil
 }
 
-func (e *Engine) computeState(key pairKey) (*pathState, error) {
+func (e *Engine) computeState(key pairKey) (pathState, error) {
 	lo, hi := key.lo, key.hi
 	fwd, err := e.router.Expand(lo.AS, lo.City, hi.AS, hi.City)
 	if err != nil {
-		return nil, err
+		return pathState{}, err
 	}
 	rev, err := e.router.Expand(hi.AS, hi.City, lo.AS, lo.City)
 	if err != nil {
-		return nil, err
+		return pathState{}, err
 	}
 
 	oneway := func(p *bgp.PopPath) time.Duration {
@@ -206,7 +204,7 @@ func (e *Engine) computeState(key pairKey) (*pathState, error) {
 	mid := geo.Midpoint(topo.CityLoc(lo.City), topo.CityLoc(hi.City))
 
 	asym := g.Normal(0, e.p.AsymmetrySigma)
-	return &pathState{
+	return pathState{
 		static:     float64(wide)*congestion + float64(access),
 		fwdAsym:    1 + asym,
 		revAsym:    1 - asym,
@@ -352,13 +350,14 @@ func (e *Engine) Trace(a, b Endpoint) (*bgp.PopPath, error) {
 }
 
 // CachedPairs reports how many endpoint pairs have cached path state,
-// summed across shards.
+// summed across shards. CacheStats (cache.go) exposes the per-shard
+// breakdown, including each open-addressed table's load factor.
 func (e *Engine) CachedPairs() int {
 	n := 0
 	for i := range e.shards {
 		s := &e.shards[i]
 		s.mu.RLock()
-		n += len(s.base)
+		n += s.tab.n
 		s.mu.RUnlock()
 	}
 	return n

@@ -1,0 +1,186 @@
+package measure
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"shortcuts/internal/atlas"
+	"shortcuts/internal/sim"
+)
+
+// The package-level benchmarks isolate the round loop's two amortized
+// structures — the scratch arena and the city-pair feasibility memo —
+// from the world build and the cold first round that the end-to-end
+// benchmarks in the repo root include.
+
+var (
+	benchOnce sync.Once
+	benchW    *sim.World
+	benchErr  error
+)
+
+func benchWorld(b *testing.B) *sim.World {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchW, benchErr = sim.Build(sim.DefaultWorldParams(1))
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchW
+}
+
+// BenchmarkCampaignRoundSteadyState times a 2nd+ round with everything
+// warm: scratch arena sized, feasibility memo populated, engine
+// path-state cache hot. This is the marginal cost of one more round in
+// a long campaign — the number the paper's 45-round schedule multiplies
+// — as opposed to BenchmarkCampaignRound (repo root), which pays a
+// fresh campaign's cold round. Allocations here are the per-round
+// floor: sampler outputs plus amortized improve-arena blocks.
+func BenchmarkCampaignRoundSteadyState(b *testing.B) {
+	w := benchWorld(b)
+	cfg := QuickConfig(4)
+	cfg.Concurrency = 1
+	cfg.DailyCreditLimit = 0
+	c, err := newCampaign(w, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		if _, err := c.runRound(r, discardSink{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var pairs int
+	for i := 0; i < b.N; i++ {
+		info, err := c.runRound(1, discardSink{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pairs = info.PairsUsable
+	}
+	b.ReportMetric(float64(pairs), "pairs_usable")
+}
+
+// benchFilterInput reconstructs one round's feasibility workload: the
+// endpoint pairs with a plausible direct-RTT threshold each, and the
+// round's relay positions with their cities.
+type benchFilterInput struct {
+	c         *campaign
+	srcCity   []int
+	dstCity   []int
+	directRTT []time.Duration
+	relayCity []int32
+}
+
+func benchFilterSetup(b *testing.B) *benchFilterInput {
+	w := benchWorld(b)
+	cfg := QuickConfig(1)
+	cfg.Concurrency = 1
+	c, err := newCampaign(w, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	endpoints := c.w.Selector.SampleEndpoints(c.g, 0)
+	exclude := make(map[atlas.ProbeID]bool, len(endpoints))
+	for _, p := range endpoints {
+		exclude[p.ID] = true
+	}
+	relaySet := c.w.Sampler.SampleRound(c.g, 0, exclude)
+	in := &benchFilterInput{c: c}
+	for t := range relaySet.ByType {
+		for _, ri := range relaySet.ByType[t] {
+			in.relayCity = append(in.relayCity, int32(c.w.Catalog.Relays[ri].City))
+		}
+	}
+	for i := 0; i < len(endpoints); i++ {
+		for j := i + 1; j < len(endpoints); j++ {
+			a, bb := endpoints[i], endpoints[j]
+			rtt, err := w.Engine.BaseRTT(a.Endpoint(), bb.Endpoint())
+			if err != nil {
+				b.Fatal(err)
+			}
+			in.srcCity = append(in.srcCity, a.City)
+			in.dstCity = append(in.dstCity, bb.City)
+			in.directRTT = append(in.directRTT, rtt)
+		}
+	}
+	return in
+}
+
+// BenchmarkFeasibilityFilter compares one full round of Section-2.4
+// feasibility decisions — every (endpoint pair x sampled relay) — under
+// the cold per-check arithmetic (two propagation-matrix loads, add,
+// shift, compare) and under the per-city-pair ranking memo (one binary
+// search per pair, then one uint16 compare per relay). The memoized/
+// first-round case includes lazy memo construction; memoized/warm is
+// the steady-state cost every later round pays.
+func BenchmarkFeasibilityFilter(b *testing.B) {
+	in := benchFilterSetup(b)
+	runDirect := func() int {
+		feasible := 0
+		for k := range in.srcCity {
+			for _, rc := range in.relayCity {
+				if in.c.feasibleDirect(in.srcCity[k], int(rc), in.dstCity[k], in.directRTT[k]) {
+					feasible++
+				}
+			}
+		}
+		return feasible
+	}
+	// The benchmark owns a private memo rather than reaching into the
+	// world-shared one (SharedCache values must only be mutated through
+	// their own synchronization).
+	privateMemo := func() *feasMemo {
+		return newFeasMemo(in.c.w, in.c.nc, in.c.prop)
+	}
+	runMemo := func(m *feasMemo) int {
+		feasible := 0
+		for k := range in.srcCity {
+			cf := m.pairFeas(in.srcCity[k], in.dstCity[k])
+			cut := cf.feasibleRank(in.directRTT[k])
+			rank := cf.rank
+			for _, rc := range in.relayCity {
+				if rank[rc] < cut {
+					feasible++
+				}
+			}
+		}
+		return feasible
+	}
+	if runDirect() != runMemo(privateMemo()) {
+		b.Fatal("memoized filter disagrees with direct arithmetic")
+	}
+	checks := float64(len(in.srcCity) * len(in.relayCity))
+
+	b.Run("cold-direct", func(b *testing.B) {
+		var n int
+		for i := 0; i < b.N; i++ {
+			n = runDirect()
+		}
+		b.ReportMetric(checks, "checks/op")
+		b.ReportMetric(float64(n), "feasible")
+	})
+	b.Run("memoized-first-round", func(b *testing.B) {
+		var n int
+		for i := 0; i < b.N; i++ {
+			n = runMemo(privateMemo()) // rankings built lazily in the op
+		}
+		b.ReportMetric(checks, "checks/op")
+		b.ReportMetric(float64(n), "feasible")
+	})
+	b.Run("memoized-warm", func(b *testing.B) {
+		warm := privateMemo()
+		runMemo(warm) // populate
+		b.ResetTimer()
+		var n int
+		for i := 0; i < b.N; i++ {
+			n = runMemo(warm)
+		}
+		b.ReportMetric(checks, "checks/op")
+		b.ReportMetric(float64(n), "feasible")
+	})
+}

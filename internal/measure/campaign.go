@@ -9,6 +9,12 @@
 // Observation into a Sink the moment its round is stitched, so peak
 // memory is bounded by one round regardless of campaign length. Run is
 // the batch wrapper that collects the stream into a Results.
+//
+// The round loop pays for pair and relay structure once per campaign,
+// not once per round: the feasibility filter runs against a per-city-pair
+// ranking memo (feasmemo.go), and every per-round buffer lives in a
+// reused scratch arena with capacity-retaining resets, so steady-state
+// rounds stay off the allocator.
 package measure
 
 import (
@@ -44,26 +50,9 @@ func Run(w *sim.World, cfg Config) (*Results, error) {
 // shard count: every stochastic draw derives from (seed, path identity,
 // round, slot), never from scheduling.
 func RunStream(w *sim.World, cfg Config, sink Sink) error {
-	if cfg.Rounds <= 0 {
-		return fmt.Errorf("measure: Rounds must be positive")
-	}
-	if cfg.PingsPerPair < cfg.MinValidPings {
-		return fmt.Errorf("measure: PingsPerPair (%d) below MinValidPings (%d)",
-			cfg.PingsPerPair, cfg.MinValidPings)
-	}
-	compiled, err := cfg.Scenario.Compile(w, cfg.Rounds)
+	c, err := newCampaign(w, cfg)
 	if err != nil {
-		return fmt.Errorf("measure: %w", err)
-	}
-	c := &campaign{
-		w:        w,
-		cfg:      cfg,
-		g:        rng.New(campaignSeed(cfg, w)).Split("campaign"),
-		ledger:   atlas.NewLedger(cfg.DailyCreditLimit),
-		nc:       len(w.Topo.Cities),
-		prop:     cityPropDelays(w),
-		scenario: compiled,
-		view:     w.Engine.View(nil),
+		return err
 	}
 	for round := 0; round < cfg.Rounds; round++ {
 		info, err := c.runRound(round, sink)
@@ -73,6 +62,41 @@ func RunStream(w *sim.World, cfg Config, sink Sink) error {
 		sink.RoundDone(info)
 	}
 	return nil
+}
+
+// newCampaign validates the configuration and builds the campaign
+// executor: compiled scenario, propagation matrix, city-pair feasibility
+// memo, and the (initially empty) round scratch arena.
+func newCampaign(w *sim.World, cfg Config) (*campaign, error) {
+	if cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("measure: Rounds must be positive")
+	}
+	if cfg.PingsPerPair < cfg.MinValidPings {
+		return nil, fmt.Errorf("measure: PingsPerPair (%d) below MinValidPings (%d)",
+			cfg.PingsPerPair, cfg.MinValidPings)
+	}
+	compiled, err := cfg.Scenario.Compile(w, cfg.Rounds)
+	if err != nil {
+		return nil, fmt.Errorf("measure: %w", err)
+	}
+	// The propagation matrix and the feasibility memo derive purely from
+	// the world, so every campaign over one world — and a sweep runs
+	// many, concurrently — shares a single instance.
+	feas := w.SharedCache("measure.feasMemo", func() any {
+		nc := len(w.Topo.Cities)
+		return newFeasMemo(w, nc, cityPropDelays(w))
+	}).(*feasMemo)
+	return &campaign{
+		w:        w,
+		cfg:      cfg,
+		g:        rng.New(campaignSeed(cfg, w)).Split("campaign"),
+		ledger:   atlas.NewLedger(cfg.DailyCreditLimit),
+		nc:       feas.nc,
+		prop:     feas.prop,
+		feas:     feas,
+		scenario: compiled,
+		view:     w.Engine.View(nil),
+	}, nil
 }
 
 // campaignSeed resolves the seed the campaign's draws derive from: an
@@ -91,6 +115,7 @@ type campaign struct {
 	ledger *atlas.Ledger
 	nc     int             // city count (side of the prop matrix)
 	prop   []time.Duration // flat nc x nc one-way propagation delays
+	feas   *feasMemo       // per-city-pair feasibility rankings
 
 	// scenario is the compiled dynamic-world timeline (nil when none is
 	// configured); view is the engine bound to the current round's
@@ -99,12 +124,78 @@ type campaign struct {
 	scenario *scenario.Compiled
 	view     latency.View
 
-	// Round-local scratch, reused across rounds (rounds run
+	// scr holds every per-round buffer, reused across rounds (rounds run
 	// sequentially; only the worker pool inside a round is parallel, and
 	// workers never write these concurrently with each other's slots).
+	scr roundScratch
+
+	// improving collects one pair's improving relays before the
+	// exact-size arena copy; arena amortizes the escaping copies.
 	improving []ImproveEntry
-	feasBuf   []int32 // feasible relay positions, all pairs back to back
-	feasOff   []int   // per-pair extents into feasBuf
+	arena     improveArena
+}
+
+// pairIdx addresses one endpoint pair by its positions in the round's
+// endpoint sample.
+type pairIdx struct{ i, j int }
+
+// roundScratch is the arena of per-round buffers. Every field is either
+// fully overwritten each round or explicitly cleared by reset, so a
+// round following a larger one can never observe stale values
+// (regression-tested by the shrinking-world test).
+type roundScratch struct {
+	exclude     map[atlas.ProbeID]bool
+	roundRelays []int
+	windowUp    []bool    // per endpoint: answers through the window
+	relayUp     []bool    // per relay position: alive through the window
+	relayCity   []int32   // per relay position: home city
+	livePos     []int32   // relay positions not churned out this round
+	pairs       []pairIdx // the round's endpoint-pair universe
+	fwd, rev    []float32 // per pair: direct medians, both directions
+	needLeg     []bool    // flat (endpoint x relay position) leg demand
+	legVals     []float32 // flat (endpoint x relay position) leg medians
+	legJobs     []int32   // flat indices of legs to measure, ascending
+	feasBuf     []int32   // feasible relay positions, all pairs back to back
+	feasOff     []int     // per-pair extents into feasBuf
+	feasible    [][]int32 // per-pair views into feasBuf
+	workers     []scratch // per-worker medianRTT scratch
+}
+
+// grown returns s resized to n, reusing capacity when it suffices. The
+// returned slice's contents are whatever the previous round left there —
+// callers either overwrite every element or clear it explicitly.
+func grown[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// improveArena carves exact-size ImproveEntry slices out of large shared
+// blocks, replacing one heap allocation per emitted observation with one
+// per thousands of entries. Emitted slices have their capacity clamped,
+// so a sink appending to one copies instead of clobbering a neighbour.
+// Retention note: a sink that holds any observation of a block keeps the
+// whole block alive; the two usual sinks sit at the harmless extremes
+// (Results retains every observation, StreamStats retains none).
+type improveArena struct {
+	block []ImproveEntry
+}
+
+// improveArenaBlock is the block granularity, in entries (8 bytes each).
+const improveArenaBlock = 4096
+
+func (a *improveArena) alloc(n int) []ImproveEntry {
+	if len(a.block)+n > cap(a.block) {
+		size := improveArenaBlock
+		if n > size {
+			size = n
+		}
+		a.block = make([]ImproveEntry, 0, size)
+	}
+	start := len(a.block)
+	a.block = a.block[:start+n]
+	return a.block[start : start+n : start+n]
 }
 
 // cityPropDelays precomputes the flat city-pair propagation-delay matrix
@@ -126,6 +217,7 @@ func cityPropDelays(w *sim.World) []time.Duration {
 func (c *campaign) runRound(round int, sink Sink) (RoundInfo, error) {
 	start := c.cfg.Start.Add(time.Duration(round) * c.cfg.RoundInterval)
 	info := RoundInfo{Round: round, Start: start}
+	scr := &c.scr
 
 	// Bind this round's scenario snapshot to the engine view. The
 	// branch avoids wrapping a typed-nil *Snapshot in the Overlay
@@ -141,30 +233,37 @@ func (c *campaign) runRound(round int, sink Sink) (RoundInfo, error) {
 	// Step 1: endpoint selection.
 	endpoints := c.w.Selector.SampleEndpoints(c.g, round)
 	info.Endpoints = len(endpoints)
-	exclude := make(map[atlas.ProbeID]bool, len(endpoints))
+	if scr.exclude == nil {
+		scr.exclude = make(map[atlas.ProbeID]bool, len(endpoints))
+	} else {
+		clear(scr.exclude)
+	}
 	for _, p := range endpoints {
-		exclude[p.ID] = true
+		scr.exclude[p.ID] = true
 	}
 
 	// Step 3 (selection half): relay sampling. Sampled before leg
 	// measurement so feasibility can prune the leg set.
-	relaySet := c.w.Sampler.SampleRound(c.g, round, exclude)
-	var roundRelays []int
+	relaySet := c.w.Sampler.SampleRound(c.g, round, scr.exclude)
+	scr.roundRelays = scr.roundRelays[:0]
 	for t := 0; t < relays.NumTypes; t++ {
 		info.RelayCounts[t] = len(relaySet.ByType[t])
-		roundRelays = append(roundRelays, relaySet.ByType[t]...)
+		scr.roundRelays = append(scr.roundRelays, relaySet.ByType[t]...)
 	}
-	sort.Ints(roundRelays)
+	sort.Ints(scr.roundRelays)
+	roundRelays := scr.roundRelays
 	nr := len(roundRelays)
 
 	// Mid-window outages: probes were selected as responsive, but some
 	// stop answering during the 30-minute window. Pairs (and legs)
 	// touching such probes yield no valid medians this round.
-	windowUp := make([]bool, len(endpoints))
+	scr.windowUp = grown(scr.windowUp, len(endpoints))
+	windowUp := scr.windowUp
 	for i, p := range endpoints {
 		windowUp[i] = c.w.Atlas.WindowUp(p.ID, round)
 	}
-	relayUp := make([]bool, nr)
+	scr.relayUp = grown(scr.relayUp, nr)
+	relayUp := scr.relayUp
 	for pos, ri := range roundRelays {
 		r := &c.w.Catalog.Relays[ri]
 		// RAR relays are probes with the same outage process; COR router
@@ -173,19 +272,26 @@ func (c *campaign) runRound(round int, sink Sink) (RoundInfo, error) {
 	}
 
 	// Step 2: direct paths, both directions. The pair universe has a
-	// closed-form size, so the list is allocated exactly once.
+	// closed-form size; fwd/rev are zeroed because unresponsive pairs
+	// must read as "no valid median" (0), not as last round's value.
 	ne := len(endpoints)
-	type pairIdx struct{ i, j int }
-	pairs := make([]pairIdx, 0, ne*(ne-1)/2)
+	scr.pairs = scr.pairs[:0]
+	if cap(scr.pairs) < ne*(ne-1)/2 {
+		scr.pairs = make([]pairIdx, 0, ne*(ne-1)/2)
+	}
 	for i := 0; i < ne; i++ {
 		for j := i + 1; j < ne; j++ {
-			pairs = append(pairs, pairIdx{i, j})
+			scr.pairs = append(scr.pairs, pairIdx{i, j})
 		}
 	}
+	pairs := scr.pairs
 	info.PairsAttempted = len(pairs)
 
-	fwd := make([]float32, len(pairs))
-	rev := make([]float32, len(pairs))
+	scr.fwd = grown(scr.fwd, len(pairs))
+	scr.rev = grown(scr.rev, len(pairs))
+	fwd, rev := scr.fwd, scr.rev
+	clear(fwd)
+	clear(rev)
 	var pings atomic.Int64
 	err := c.parallel(len(pairs), func(s *scratch, k int) error {
 		if !windowUp[pairs[k].i] || !windowUp[pairs[k].j] {
@@ -211,33 +317,37 @@ func (c *campaign) runRound(round int, sink Sink) (RoundInfo, error) {
 
 	// Step 3 (feasibility half): relays worth measuring per pair, and
 	// the union of endpoint-relay legs needed. Legs are tracked in a
-	// flat (endpoint index × relay position) array instead of a keyed
+	// flat (endpoint index x relay position) array instead of a keyed
 	// map: the round's leg universe is dense and small, and index math
 	// is contention-free for the worker pool below. Feasible positions
 	// append into one flat backing buffer (reused across rounds) with
 	// per-pair extents recorded as offsets; the extents become slices
 	// only after the loop, once the buffer has stopped moving.
-	relayCity := make([]int, nr)
+	scr.relayCity = grown(scr.relayCity, nr)
+	relayCity := scr.relayCity
 	for pos, ri := range roundRelays {
-		relayCity[pos] = c.w.Catalog.Relays[ri].City
+		relayCity[pos] = int32(c.w.Catalog.Relays[ri].City)
 	}
 	// Scenario relay churn: churned-out relays are invisible to the
 	// feasibility filter this round — they neither count as feasible nor
 	// get legs measured, exactly as if the liveness checks had dropped
-	// them from the sample.
-	relayIn := make([]bool, nr)
+	// them from the sample. livePos is the churn-mask intersection the
+	// per-pair loop iterates, in ascending (catalog) order.
+	scr.livePos = scr.livePos[:0]
 	for pos, ri := range roundRelays {
-		relayIn[pos] = !snap.RelayOut(ri)
-		if !relayIn[pos] {
+		if snap.RelayOut(ri) {
 			info.RelaysChurned++
+		} else {
+			scr.livePos = append(scr.livePos, int32(pos))
 		}
 	}
-	needLeg := make([]bool, ne*nr)
-	if cap(c.feasOff) < len(pairs)+1 {
-		c.feasOff = make([]int, len(pairs)+1)
-	}
-	feasOff := c.feasOff[:len(pairs)+1]
-	feasBuf := c.feasBuf[:0]
+	livePos := scr.livePos
+	scr.needLeg = grown(scr.needLeg, ne*nr)
+	needLeg := scr.needLeg
+	clear(needLeg)
+	scr.feasOff = grown(scr.feasOff, len(pairs)+1)
+	feasOff := scr.feasOff
+	feasBuf := scr.feasBuf[:0]
 	for k, p := range pairs {
 		feasOff[k] = len(feasBuf)
 		if fwd[k] == 0 {
@@ -245,41 +355,74 @@ func (c *campaign) runRound(round int, sink Sink) (RoundInfo, error) {
 		}
 		a, b := endpoints[p.i], endpoints[p.j]
 		directRTT := time.Duration(float64(fwd[k]) * float64(time.Millisecond))
-		for pos := 0; pos < nr; pos++ {
-			if !relayIn[pos] {
-				continue
-			}
-			if c.feasible(a.City, relayCity[pos], b.City, directRTT) {
-				feasBuf = append(feasBuf, int32(pos))
+		if c.cfg.DisableFeasibilityFilter {
+			// Ablation: every live relay is feasible.
+			for _, pos := range livePos {
+				feasBuf = append(feasBuf, pos)
 				if relayUp[pos] {
-					needLeg[p.i*nr+pos] = true
-					needLeg[p.j*nr+pos] = true
+					needLeg[p.i*nr+int(pos)] = true
+					needLeg[p.j*nr+int(pos)] = true
+				}
+			}
+			continue
+		}
+		if c.feas.slow {
+			// Overflow fallback: the direct arithmetic predicate.
+			for _, pos := range livePos {
+				if c.feasibleDirect(a.City, int(relayCity[pos]), b.City, directRTT) {
+					feasBuf = append(feasBuf, pos)
+					if relayUp[pos] {
+						needLeg[p.i*nr+int(pos)] = true
+						needLeg[p.j*nr+int(pos)] = true
+					}
+				}
+			}
+			continue
+		}
+		// Memoized filter: one binary search per pair, then one rank
+		// compare per live relay — exactly equivalent to the direct
+		// arithmetic predicate (see feasMemo).
+		cf := c.feas.pairFeas(a.City, b.City)
+		cut := cf.feasibleRank(directRTT)
+		rank := cf.rank
+		for _, pos := range livePos {
+			if rank[relayCity[pos]] < cut {
+				feasBuf = append(feasBuf, pos)
+				if relayUp[pos] {
+					needLeg[p.i*nr+int(pos)] = true
+					needLeg[p.j*nr+int(pos)] = true
 				}
 			}
 		}
 	}
 	feasOff[len(pairs)] = len(feasBuf)
-	c.feasBuf, c.feasOff = feasBuf, feasOff
-	feasible := make([][]int32, len(pairs)) // relay positions per pair
+	scr.feasBuf = feasBuf
+	scr.feasible = grown(scr.feasible, len(pairs))
+	feasible := scr.feasible // relay positions per pair
 	for k := range pairs {
 		feasible[k] = feasBuf[feasOff[k]:feasOff[k+1]:feasOff[k+1]]
 	}
 
 	// Step 4 (legs): measure each needed endpoint-relay pair once. The
-	// ascending flat index yields a deterministic job order.
+	// ascending flat index yields a deterministic job order. legVals is
+	// zeroed so a leg skipped this round reads as invalid, never as a
+	// stale median from a previous (larger) round.
 	nLegs := 0
 	for _, need := range needLeg {
 		if need {
 			nLegs++
 		}
 	}
-	legJobs := make([]int32, 0, nLegs)
+	scr.legJobs = grown(scr.legJobs, nLegs)[:0]
 	for idx, need := range needLeg {
 		if need {
-			legJobs = append(legJobs, int32(idx))
+			scr.legJobs = append(scr.legJobs, int32(idx))
 		}
 	}
-	legVals := make([]float32, ne*nr)
+	legJobs := scr.legJobs
+	scr.legVals = grown(scr.legVals, ne*nr)
+	legVals := scr.legVals
+	clear(legVals)
 	err = c.parallel(len(legJobs), func(s *scratch, k int) error {
 		idx := int(legJobs[k])
 		probe := endpoints[idx/nr]
@@ -344,10 +487,10 @@ func (c *campaign) runRound(round int, sink Sink) (RoundInfo, error) {
 			}
 		}
 		// Improving entries escape into the sink, so they get an
-		// exact-size copy: the scratch absorbs the append growth, the
-		// observation retains not a byte more than its entries.
+		// exact-size arena copy: the scratch absorbs the append growth,
+		// the observation retains not an entry more than it owns.
 		if len(c.improving) > 0 {
-			o.Improving = make([]ImproveEntry, len(c.improving))
+			o.Improving = c.arena.alloc(len(c.improving))
 			copy(o.Improving, c.improving)
 		}
 		sink.Emit(o)
@@ -356,13 +499,12 @@ func (c *campaign) runRound(round int, sink Sink) (RoundInfo, error) {
 	return info, nil
 }
 
-// feasible applies the Section-2.4 speed-of-light filter using the
-// precomputed flat propagation-delay matrix. With the ablation switch
-// on, every relay is considered feasible.
-func (c *campaign) feasible(srcCity, relayCity, dstCity int, directRTT time.Duration) bool {
-	if c.cfg.DisableFeasibilityFilter {
-		return true
-	}
+// feasibleDirect applies the Section-2.4 speed-of-light filter by direct
+// arithmetic over the precomputed flat propagation-delay matrix. The
+// round loop uses the per-city-pair ranking memo instead; this form is
+// the executable specification the memo is tested (and benchmarked)
+// against.
+func (c *campaign) feasibleDirect(srcCity, relayCity, dstCity int, directRTT time.Duration) bool {
 	ideal := 2 * (c.prop[srcCity*c.nc+relayCity] + c.prop[relayCity*c.nc+dstCity])
 	return ideal <= directRTT
 }
@@ -425,7 +567,8 @@ func median(vals []float64) float64 {
 }
 
 // parallel runs fn over [0, n) with the configured worker count, each
-// worker carrying its own scratch, propagating the first error.
+// worker carrying its own scratch (retained across rounds in the
+// arena), propagating the first error.
 func (c *campaign) parallel(n int, fn func(s *scratch, i int) error) error {
 	workers := c.cfg.Concurrency
 	if workers <= 0 {
@@ -434,10 +577,17 @@ func (c *campaign) parallel(n int, fn func(s *scratch, i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	if cap(c.scr.workers) < workers {
+		c.scr.workers = make([]scratch, workers)
+	}
+	c.scr.workers = c.scr.workers[:cap(c.scr.workers)]
 	if workers <= 1 {
-		var s scratch
+		s := &c.scr.workers[0]
 		for i := 0; i < n; i++ {
-			if err := fn(&s, i); err != nil {
+			if err := fn(s, i); err != nil {
 				return err
 			}
 		}
@@ -459,20 +609,19 @@ func (c *campaign) parallel(n int, fn func(s *scratch, i int) error) error {
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(s *scratch) {
 			defer wg.Done()
-			var s scratch
 			for {
 				i := next.Add(1) - 1
 				if i >= int64(n) {
 					return
 				}
-				if err := fn(&s, int(i)); err != nil {
+				if err := fn(s, int(i)); err != nil {
 					fail(err)
 					return
 				}
 			}
-		}()
+		}(&c.scr.workers[w])
 	}
 	wg.Wait()
 	return first

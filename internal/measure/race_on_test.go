@@ -1,0 +1,8 @@
+//go:build race
+
+package measure
+
+// raceEnabled reports that the race detector is compiled in; its
+// instrumentation adds heap allocations, so exact alloc-budget tests
+// loosen or skip under it.
+const raceEnabled = true

@@ -43,6 +43,11 @@ type Registry struct {
 	nodes []*Node
 	avail *rng.Rand
 
+	// nodeLabel holds each node's precomputed availability-stream label
+	// (node IDs are dense from 1), so the per-(node, round) Usable coin
+	// doesn't rebuild the identical string every round.
+	nodeLabel []string
+
 	// FlakyProb is the per-round probability a node is unusable.
 	FlakyProb float64
 }
@@ -100,6 +105,10 @@ func Generate(g *rng.Rand, topo *topology.Topology, p Params) *Registry {
 			id++
 		}
 	}
+	r.nodeLabel = make([]string, id)
+	for _, n := range r.nodes {
+		r.nodeLabel[n.ID] = fmt.Sprintf("node-%d", n.ID)
+	}
 	return r
 }
 
@@ -123,8 +132,14 @@ func (r *Registry) NodesAt(site *Site) []*Node {
 // Usable reports whether the node is accessible and pingable for the
 // given round; a pure function of (registry seed, node, round).
 func (r *Registry) Usable(id int, round int) bool {
-	g := r.avail.SplitN(fmt.Sprintf("node-%d", id), round)
-	return !g.Bool(r.FlakyProb)
+	label := ""
+	if id >= 0 && id < len(r.nodeLabel) {
+		label = r.nodeLabel[id]
+	}
+	if label == "" {
+		label = fmt.Sprintf("node-%d", id)
+	}
+	return !r.avail.BoolSplitN(label, round, r.FlakyProb)
 }
 
 // Countries returns the sorted country codes hosting accessible sites.

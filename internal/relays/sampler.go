@@ -29,11 +29,35 @@ type Sampler struct {
 	atlas     *atlas.Platform
 	planetlab *planetlab.Registry
 	params    SampleParams
+
+	// Iteration orders over the catalog's grouping maps are fixed for
+	// the catalog's lifetime, so they are sorted once here instead of
+	// once per round. The orders (and the per-country AS lists) are
+	// exactly what the per-round sorts produced, so no draw moves.
+	corFacs  []int
+	plrSites []string
+	eyeCCs   []string
+	eyeASNs  map[string][]topology.ASN
+	otherCCs []string
 }
 
 // NewSampler creates a sampler bound to the liveness sources.
 func NewSampler(c *Catalog, a *atlas.Platform, p *planetlab.Registry, sp SampleParams) *Sampler {
-	return &Sampler{catalog: c, atlas: a, planetlab: p, params: sp}
+	s := &Sampler{catalog: c, atlas: a, planetlab: p, params: sp}
+	s.corFacs = sortedIntKeys(c.corByFacility)
+	s.plrSites = sortedStrKeys(c.plrBySite)
+	s.eyeCCs = sortedStrKeys2(c.eyeByCountry)
+	s.eyeASNs = make(map[string][]topology.ASN, len(c.eyeByCountry))
+	for cc, perAS := range c.eyeByCountry {
+		asns := make([]topology.ASN, 0, len(perAS))
+		for asn := range perAS {
+			asns = append(asns, asn)
+		}
+		sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+		s.eyeASNs[cc] = asns
+	}
+	s.otherCCs = sortedStrKeys(c.otherByCC)
+	return s
 }
 
 // RoundSet is the relay selection for one measurement round, as catalog
@@ -62,19 +86,28 @@ func (rs *RoundSet) Total() int {
 func (s *Sampler) SampleRound(g *rng.Rand, round int, excludeProbes map[atlas.ProbeID]bool) *RoundSet {
 	g = g.SplitN("relay-sample", round)
 	rs := &RoundSet{}
+	// perm and pickPerm are the reused permutation buffers (pickPerm is
+	// separate because pickLiveProbe runs inside walks over perm).
+	var perm, pickPerm []int
 
 	// COR.
-	for _, pdb := range sortedIntKeys(s.catalog.corByFacility) {
+	for _, pdb := range s.corFacs {
 		idxs := s.catalog.corByFacility[pdb]
 		want := g.IntBetween(s.params.CORPerFacilityMin, s.params.CORPerFacilityMax)
-		for _, k := range g.SampleInts(len(idxs), want) {
-			rs.ByType[COR] = append(rs.ByType[COR], idxs[k])
+		if len(idxs) > 0 && want > 0 {
+			// Degenerate quotas draw no permutation, exactly like the
+			// SampleInts guard this replaces.
+			perm = g.PermInto(perm, len(idxs))
+			for _, k := range sampleCut(perm, len(idxs), want) {
+				rs.ByType[COR] = append(rs.ByType[COR], idxs[k])
+			}
 		}
 	}
 
 	// PLR: only nodes usable this round.
-	for _, site := range sortedStrKeys(s.catalog.plrBySite) {
-		var usable []int
+	var usable []int
+	for _, site := range s.plrSites {
+		usable = usable[:0]
 		for _, idx := range s.catalog.plrBySite[site] {
 			if s.planetlab.Usable(s.catalog.Relays[idx].NodeID, round) {
 				usable = append(usable, idx)
@@ -84,23 +117,25 @@ func (s *Sampler) SampleRound(g *rng.Rand, round int, excludeProbes map[atlas.Pr
 			continue
 		}
 		want := g.IntBetween(s.params.PLRPerSiteMin, s.params.PLRPerSiteMax)
-		for _, k := range g.SampleInts(len(usable), want) {
-			rs.ByType[PLR] = append(rs.ByType[PLR], usable[k])
+		if want > 0 {
+			perm = g.PermInto(perm, len(usable))
+			for _, k := range sampleCut(perm, len(usable), want) {
+				rs.ByType[PLR] = append(rs.ByType[PLR], usable[k])
+			}
 		}
 	}
 
 	// RAR_eye: country -> AS -> probe.
-	for _, cc := range sortedStrKeys2(s.catalog.eyeByCountry) {
+	for _, cc := range s.eyeCCs {
 		perAS := s.catalog.eyeByCountry[cc]
-		asns := make([]topology.ASN, 0, len(perAS))
-		for asn := range perAS {
-			asns = append(asns, asn)
-		}
-		sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+		asns := s.eyeASNs[cc]
 		// Try ASes in random order until one yields a live, non-endpoint
 		// probe.
-		for _, ai := range g.Perm(len(asns)) {
-			if idx, ok := s.pickLiveProbe(g, perAS[asns[ai]], round, excludeProbes); ok {
+		perm = g.PermInto(perm, len(asns))
+		for _, ai := range perm {
+			idx, ok, buf := s.pickLiveProbe(g, pickPerm, perAS[asns[ai]], round, excludeProbes)
+			pickPerm = buf
+			if ok {
 				rs.ByType[RAREye] = append(rs.ByType[RAREye], idx)
 				break
 			}
@@ -108,25 +143,43 @@ func (s *Sampler) SampleRound(g *rng.Rand, round int, excludeProbes map[atlas.Pr
 	}
 
 	// RAR_other: one probe per country.
-	for _, cc := range sortedStrKeys(s.catalog.otherByCC) {
-		if idx, ok := s.pickLiveProbe(g, s.catalog.otherByCC[cc], round, excludeProbes); ok {
+	for _, cc := range s.otherCCs {
+		idx, ok, buf := s.pickLiveProbe(g, pickPerm, s.catalog.otherByCC[cc], round, excludeProbes)
+		pickPerm = buf
+		if ok {
 			rs.ByType[RAROther] = append(rs.ByType[RAROther], idx)
 		}
 	}
 	return rs
 }
 
-func (s *Sampler) pickLiveProbe(g *rng.Rand, idxs []int, round int, exclude map[atlas.ProbeID]bool) (int, bool) {
-	for _, k := range g.Perm(len(idxs)) {
+// sampleCut reproduces SampleInts over an already-drawn permutation:
+// the first want elements (all of them when want exceeds the set).
+func sampleCut(perm []int, n, want int) []int {
+	if n <= 0 || want <= 0 {
+		return nil
+	}
+	if want > n {
+		want = n
+	}
+	return perm[:want]
+}
+
+// pickLiveProbe walks idxs in a random order drawn into perm and returns
+// the first live, non-excluded probe, plus the (possibly regrown)
+// buffer for reuse.
+func (s *Sampler) pickLiveProbe(g *rng.Rand, perm []int, idxs []int, round int, exclude map[atlas.ProbeID]bool) (int, bool, []int) {
+	perm = g.PermInto(perm, len(idxs))
+	for _, k := range perm {
 		r := s.catalog.Relays[idxs[k]]
 		if exclude[r.ProbeID] {
 			continue
 		}
 		if s.atlas.Responsive(r.ProbeID, round) {
-			return idxs[k], true
+			return idxs[k], true, perm
 		}
 	}
-	return 0, false
+	return 0, false, perm
 }
 
 func sortedIntKeys(m map[int][]int) []int {

@@ -1,0 +1,87 @@
+package rng
+
+import "testing"
+
+// TestPermIntoMatchesPerm proves PermInto is draw-for-draw identical to
+// Perm: same seed, same sequence of permutations, element for element —
+// the property every sampler relies on when reusing a buffer.
+func TestPermIntoMatchesPerm(t *testing.T) {
+	a := New(42).Split("perm")
+	b := New(42).Split("perm")
+	var buf []int
+	for round := 0; round < 50; round++ {
+		n := round % 17
+		want := a.Perm(n)
+		buf = b.PermInto(buf, n)
+		if len(want) != len(buf) {
+			t.Fatalf("round %d: length %d vs %d", round, len(want), len(buf))
+		}
+		for i := range want {
+			if want[i] != buf[i] {
+				t.Fatalf("round %d: element %d: %d vs %d", round, i, want[i], buf[i])
+			}
+		}
+	}
+}
+
+// TestPermIntoGrowsBuffer checks capacity handling: a too-small buffer
+// is replaced, a large one reused.
+func TestPermIntoGrowsBuffer(t *testing.T) {
+	g := New(7)
+	small := make([]int, 2)
+	out := g.PermInto(small, 10)
+	if len(out) != 10 {
+		t.Fatalf("grown length %d", len(out))
+	}
+	big := make([]int, 64)
+	out = g.PermInto(big, 10)
+	if len(out) != 10 || &out[0] != &big[0] {
+		t.Fatal("large buffer was not reused")
+	}
+}
+
+// TestBoolSplitNMatchesSplitN proves the pooled one-shot coin equals
+// SplitN(label, n).Bool(p) for every (label, n, p) — including the
+// degenerate probabilities that draw nothing.
+func TestBoolSplitNMatchesSplitN(t *testing.T) {
+	g := New(99)
+	labels := []string{"probe-1000", "window-1000", "node-7", ""}
+	probs := []float64{-1, 0, 1e-9, 0.08, 0.5, 0.999999, 1, 2}
+	for _, label := range labels {
+		for n := 0; n < 40; n++ {
+			for _, p := range probs {
+				want := g.SplitN(label, n).Bool(p)
+				got := g.BoolSplitN(label, n, p)
+				if got != want {
+					t.Fatalf("label %q n %d p %g: BoolSplitN %v, SplitN.Bool %v",
+						label, n, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBoolSplitNConcurrent hammers the generator pool from many
+// goroutines and re-verifies every answer sequentially afterwards.
+func TestBoolSplitNConcurrent(t *testing.T) {
+	g := New(5)
+	const n = 2000
+	got := make([]bool, n)
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := w; i < n; i += 8 {
+				got[i] = g.BoolSplitN("avail", i, 0.3)
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	for i := 0; i < n; i++ {
+		if want := g.SplitN("avail", i).Bool(0.3); got[i] != want {
+			t.Fatalf("slot %d: concurrent %v, sequential %v", i, got[i], want)
+		}
+	}
+}

@@ -10,6 +10,7 @@ package rng
 import (
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Rand is a deterministic random source. It wraps math/rand.Rand with the
@@ -52,6 +53,35 @@ func (g *Rand) SplitN(label string, n int) *Rand {
 	return New(int64(FNVUint64(h, uint64(n))))
 }
 
+// splitPool recycles math/rand generators for one-shot derived draws:
+// reseeding an existing source (Rand.Seed) reaches the exact state a
+// fresh NewSource(seed) would, so a pooled generator produces the same
+// stream without re-allocating the ~5 KB source table per derivation.
+var splitPool = sync.Pool{
+	New: func() any { return rand.New(rand.NewSource(0)) },
+}
+
+// BoolSplitN reports exactly what SplitN(label, n).Bool(p) would return
+// — same derived seed, same single draw — without constructing the
+// derived generator. It exists for per-(entity, round) availability
+// coins, which campaigns flip hundreds of times per round: the one-shot
+// SplitN + Bool pattern allocated a full generator per flip. Safe for
+// concurrent use.
+func (g *Rand) BoolSplitN(label string, n int, p float64) bool {
+	if p <= 0 {
+		return false // Bool draws nothing for degenerate probabilities
+	}
+	if p >= 1 {
+		return true
+	}
+	h := uint64(splitSeed(g.seed, label))
+	r := splitPool.Get().(*rand.Rand)
+	r.Seed(int64(FNVUint64(h, uint64(n))))
+	ok := r.Float64() < p
+	splitPool.Put(r)
+	return ok
+}
+
 // Float64 returns a uniform draw in [0, 1).
 func (g *Rand) Float64() float64 { return g.r.Float64() }
 
@@ -66,6 +96,24 @@ func (g *Rand) Uint32() uint32 { return g.r.Uint32() }
 
 // Perm returns a random permutation of [0, n).
 func (g *Rand) Perm(n int) []int { return g.r.Perm(n) }
+
+// PermInto returns the same permutation Perm(n) would produce — the
+// identical draw sequence, element for element — written into buf when
+// its capacity suffices. Samplers permute small sets hundreds of times
+// per round; this form lets them reuse one buffer per call site.
+func (g *Rand) PermInto(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	m := buf[:n]
+	// Mirrors math/rand.(*Rand).Perm: Intn(i+1) per element, in order.
+	for i := 0; i < n; i++ {
+		j := g.r.Intn(i + 1)
+		m[i] = m[j]
+		m[j] = i
+	}
+	return m
+}
 
 // Bool returns true with probability p.
 func (g *Rand) Bool(p float64) bool {

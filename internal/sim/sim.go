@@ -91,6 +91,33 @@ type World struct {
 	Catalog   *relays.Catalog
 	Sampler   *relays.Sampler
 	Selector  *eyeball.Selector
+
+	// cache backs SharedCache. Its presence makes World non-copyable
+	// (use the *World that Build returns, as all code already does).
+	cacheMu sync.Mutex
+	cache   map[string]any
+}
+
+// SharedCache returns the value cached under key, invoking build and
+// storing its result on first use. It exists for campaign-independent
+// precomputations that higher layers derive purely from the world —
+// e.g. the measurement layer's city-pair feasibility rankings — so a
+// sweep running many concurrent campaigns over one world builds such
+// state once instead of once per campaign. build runs at most once per
+// key per world (callers block while it runs); the cached value must be
+// immutable or internally synchronized, like every other World cache.
+func (w *World) SharedCache(key string, build func() any) any {
+	w.cacheMu.Lock()
+	defer w.cacheMu.Unlock()
+	if v, ok := w.cache[key]; ok {
+		return v
+	}
+	if w.cache == nil {
+		w.cache = make(map[string]any)
+	}
+	v := build()
+	w.cache[key] = v
+	return v
 }
 
 // BuildOptions control how a world is constructed. Build options are a

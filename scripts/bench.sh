@@ -15,9 +15,16 @@
 #   override it with BENCH_REF=myref or the full path with
 #   BENCH_OUT=out.json. The ping-level benchmarks run at full benchtime
 #   (they are nanoseconds per op); the round/sweep benchmarks run one
-#   iteration each (they are seconds per op). When bench/before_pr3.txt
-#   exists — the recorded pre-optimization run — it is folded into the
-#   JSON as the "before" section.
+#   iteration each (they are seconds per op); the campaign steady-state
+#   and feasibility-filter benchmarks (internal/measure) run at a fixed
+#   modest benchtime. When bench/before_pr3.txt exists — the recorded
+#   pre-optimization run — it is folded into the JSON as the "before"
+#   section.
+#
+#   Set BENCH_PROFILE_DIR=dir to also write pprof cpu/mem profiles of
+#   the round-level and steady-state benchmark runs into dir (CI uploads
+#   these as artifacts so a regression can be diagnosed from the run
+#   itself, without a local repro).
 #
 # Compare mode:
 #   scripts/bench.sh --compare old.json new.json
@@ -137,7 +144,20 @@ OUT="${BENCH_OUT:-BENCH_${ref}.json}"
 BEFORE="${BENCH_BEFORE:-bench/before_pr3.txt}"
 
 PING_BENCH='BenchmarkPingHotPath|BenchmarkPingTrain|BenchmarkBaseRTTWarm'
-ROUND_BENCH='BenchmarkRunStream|BenchmarkCampaignRound|BenchmarkSweep|BenchmarkScenarioRound'
+ROUND_BENCH='BenchmarkRunStream|BenchmarkCampaignRound$|BenchmarkSweep|BenchmarkScenarioRound'
+MEASURE_BENCH='BenchmarkCampaignRoundSteadyState|BenchmarkFeasibilityFilter'
+
+# Optional pprof capture: BENCH_PROFILE_DIR adds -cpuprofile/-memprofile
+# to the campaign-level runs (one profile pair per invocation). The test
+# binary lands in the same directory (-o), so `go tool pprof binary
+# profile` works straight off the downloaded artifact.
+profile_flags() {
+    if [ -n "${BENCH_PROFILE_DIR:-}" ]; then
+        mkdir -p "$BENCH_PROFILE_DIR"
+        printf -- '-o %s/%s.test -cpuprofile %s/%s_cpu.prof -memprofile %s/%s_mem.prof' \
+            "$BENCH_PROFILE_DIR" "$1" "$BENCH_PROFILE_DIR" "$1" "$BENCH_PROFILE_DIR" "$1"
+    fi
+}
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -146,7 +166,12 @@ echo "== ping-level benchmarks (internal/latency) ==" >&2
 go test -run '^$' -bench "$PING_BENCH" -benchmem ./internal/latency/ | tee -a "$raw" >&2
 
 echo "== round/sweep/scenario benchmarks (1 iteration each) ==" >&2
-go test -run '^$' -bench "$ROUND_BENCH" -benchtime=1x -benchmem . | tee -a "$raw" >&2
+# shellcheck disable=SC2046
+go test -run '^$' -bench "$ROUND_BENCH" -benchtime=1x -benchmem $(profile_flags round) . | tee -a "$raw" >&2
+
+echo "== campaign steady-state + feasibility benchmarks (internal/measure) ==" >&2
+# shellcheck disable=SC2046
+go test -run '^$' -bench "$MEASURE_BENCH" -benchtime=10x -benchmem $(profile_flags steady) ./internal/measure/ | tee -a "$raw" >&2
 
 {
     echo '{'
