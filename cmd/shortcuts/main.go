@@ -35,6 +35,7 @@ func main() {
 		stream  = flag.Bool("stream", false, "streaming mode: constant-memory aggregates, no per-observation tables")
 		seeds   = flag.String("seeds", "", "comma-separated campaign seeds: sweep them all over ONE shared world (sweeps always run in streaming mode, so -stream is implied)")
 		par     = flag.Int("parallel", 1, "campaigns running concurrently in a -seeds sweep")
+		pipe    = flag.Int("pipeline", 1, "campaign rounds executing concurrently (results are identical at any depth; composes with -parallel under one core budget)")
 		scen    = flag.String("scenario", "", "dynamic-world scenario the campaign runs under: "+strings.Join(shortcuts.ScenarioNames(), "|")+" (empty = static world)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -51,7 +52,7 @@ func main() {
 	}
 	defer stopProfiles()
 
-	cfg := shortcuts.Config{Seed: *seed, Rounds: *rounds, SmallWorld: *small}
+	cfg := shortcuts.Config{Seed: *seed, Rounds: *rounds, SmallWorld: *small, RoundPipeline: *pipe}
 	if *scen != "" {
 		sc, err := shortcuts.ScenarioByName(*scen)
 		if err != nil {

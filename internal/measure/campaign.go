@@ -15,6 +15,33 @@
 // ranking memo (feasmemo.go), and every per-round buffer lives in a
 // reused scratch arena with capacity-retaining resets, so steady-state
 // rounds stay off the allocator.
+//
+// # Executor stages
+//
+// Rounds are independent snapshots 12 hours apart, and every stochastic
+// draw is keyed by (seed, round, slot) — never by call order — so rounds
+// may execute out of order as long as they are emitted in order. The
+// executor exploits that in three stages:
+//
+//   - execute: a round runs all its measurement phases and stitches its
+//     observations into a per-slot buffer. Each in-flight round owns one
+//     roundSlot — a full scratch arena, improve arena, and engine view —
+//     drawn from a fixed set of Config.RoundPipeline slots, so concurrent
+//     rounds never share mutable state.
+//   - settle: the round's Atlas credits are only *reserved* during
+//     execution (atlas.Reserve); the emitter commits reservations in
+//     round order (atlas.Ledger.Settle), recreating the exact
+//     day-sequential spend sequence of a sequential campaign, so budget
+//     exhaustion aborts at the identical round.
+//   - emit: completed rounds are released to the Sink strictly in round
+//     order. Workers hand their slot to the emitter and block until it
+//     has been flushed, which bounds buffered output at RoundPipeline
+//     rounds — a slow Sink throttles execution instead of growing a
+//     reorder buffer.
+//
+// With RoundPipeline <= 1 (the default) the executor degenerates to the
+// classic sequential loop over a single slot; the emitted stream is
+// bit-identical for every pipeline depth.
 package measure
 
 import (
@@ -46,13 +73,16 @@ func Run(w *sim.World, cfg Config) (*Results, error) {
 
 // RunStream executes the campaign, pushing observations and per-round
 // summaries into sink as each round completes. Equal seeds produce
-// bit-for-bit identical streams for any Concurrency and any engine
-// shard count: every stochastic draw derives from (seed, path identity,
-// round, slot), never from scheduling.
+// bit-for-bit identical streams for any Concurrency, any engine shard
+// count, and any RoundPipeline depth: every stochastic draw derives
+// from (seed, path identity, round, slot), never from scheduling.
 func RunStream(w *sim.World, cfg Config, sink Sink) error {
 	c, err := newCampaign(w, cfg)
 	if err != nil {
 		return err
+	}
+	if len(c.slots) > 1 {
+		return c.runPipelined(sink)
 	}
 	for round := 0; round < cfg.Rounds; round++ {
 		info, err := c.runRound(round, sink)
@@ -66,7 +96,7 @@ func RunStream(w *sim.World, cfg Config, sink Sink) error {
 
 // newCampaign validates the configuration and builds the campaign
 // executor: compiled scenario, propagation matrix, city-pair feasibility
-// memo, and the (initially empty) round scratch arena.
+// memo, and the (initially empty) per-slot round scratch arenas.
 func newCampaign(w *sim.World, cfg Config) (*campaign, error) {
 	if cfg.Rounds <= 0 {
 		return nil, fmt.Errorf("measure: Rounds must be positive")
@@ -86,6 +116,23 @@ func newCampaign(w *sim.World, cfg Config) (*campaign, error) {
 		nc := len(w.Topo.Cities)
 		return newFeasMemo(w, nc, cityPropDelays(w))
 	}).(*feasMemo)
+	depth := cfg.RoundPipeline
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > cfg.Rounds {
+		depth = cfg.Rounds
+	}
+	// One worker budget: an explicit Concurrency is per round, as ever;
+	// the GOMAXPROCS default is divided across the concurrent rounds so
+	// pipelining changes the schedule, never the total parallelism.
+	workers := cfg.Concurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0) / depth
+		if workers < 1 {
+			workers = 1
+		}
+	}
 	return &campaign{
 		w:        w,
 		cfg:      cfg,
@@ -95,7 +142,8 @@ func newCampaign(w *sim.World, cfg Config) (*campaign, error) {
 		prop:     feas.prop,
 		feas:     feas,
 		scenario: compiled,
-		view:     w.Engine.View(nil),
+		workers:  workers,
+		slots:    make([]roundSlot, depth),
 	}, nil
 }
 
@@ -118,22 +166,67 @@ type campaign struct {
 	feas   *feasMemo       // per-city-pair feasibility rankings
 
 	// scenario is the compiled dynamic-world timeline (nil when none is
-	// configured); view is the engine bound to the current round's
-	// snapshot. view is rebound at the start of each round, before the
-	// worker pool spawns, and only read by workers.
+	// configured); each slot binds its round's snapshot to its own view.
 	scenario *scenario.Compiled
-	view     latency.View
 
-	// scr holds every per-round buffer, reused across rounds (rounds run
-	// sequentially; only the worker pool inside a round is parallel, and
-	// workers never write these concurrently with each other's slots).
+	// workers is the per-round worker-pool size (resolved once: explicit
+	// Concurrency, or the GOMAXPROCS budget split across pipeline slots).
+	workers int
+
+	// slots hold every piece of per-round mutable state, one slot per
+	// concurrently executing round. Sequential campaigns use slots[0]
+	// only; the pipelined executor statically assigns round r to slot
+	// r % len(slots), so a slot is always reused by one goroutine with
+	// the same capacity-retaining resets as the sequential loop.
+	slots []roundSlot
+
+	// executed counts rounds whose execution has finished (emitted or
+	// not). The pipelined back-pressure contract — at most len(slots)
+	// rounds past the emission frontier — is asserted against it.
+	executed atomic.Int64
+}
+
+// roundSlot owns the mutable state of one in-flight round: the engine
+// view bound to the round's scenario snapshot, the scratch arena, the
+// improve arena, and (in pipelined mode) the buffered emissions and the
+// round's pending ledger reservation.
+type roundSlot struct {
+	// view is the engine bound to the round's scenario snapshot. It is
+	// rebound at the start of the round, before the worker pool spawns,
+	// and only read by workers.
+	view latency.View
+
+	// scr holds every per-round buffer, reused across the slot's rounds
+	// (a slot runs one round at a time; only the worker pool inside a
+	// round is parallel, and workers never write these concurrently with
+	// each other's slots).
 	scr roundScratch
 
 	// improving collects one pair's improving relays before the
 	// exact-size arena copy; arena amortizes the escaping copies.
 	improving []ImproveEntry
 	arena     improveArena
+
+	// obs buffers the round's stitched observations in pipelined mode,
+	// flushed to the real sink by the emitter in round order. Sequential
+	// rounds emit directly and leave it empty.
+	obs obsBuffer
+	// info and resv carry the round summary and the pending credit
+	// reservation from execution to ordered emission; err carries an
+	// execution failure to the emitter, which reports it at the round's
+	// in-order position.
+	info RoundInfo
+	resv atlas.Reservation
+	err  error
 }
+
+// obsBuffer is a Sink that builds the slot's in-memory round: the
+// pipelined executor stitches into it during execution and the emitter
+// flushes it once the round's turn comes.
+type obsBuffer []Observation
+
+func (b *obsBuffer) Emit(o Observation)  { *b = append(*b, o) }
+func (b *obsBuffer) RoundDone(RoundInfo) {}
 
 // pairIdx addresses one endpoint pair by its positions in the round's
 // endpoint sample.
@@ -214,10 +307,25 @@ func cityPropDelays(w *sim.World) []time.Duration {
 	return m
 }
 
+// runRound executes one round sequentially on slot 0, settling the
+// round's credits inline and emitting straight into sink — the classic
+// single-slot path RunStream takes when RoundPipeline <= 1.
 func (c *campaign) runRound(round int, sink Sink) (RoundInfo, error) {
+	info, _, err := c.roundExec(&c.slots[0], round, sink, true)
+	return info, err
+}
+
+// roundExec is the round body shared by the sequential and pipelined
+// executors. It runs every measurement phase of the round on the given
+// slot and stitches the round's observations into emit. With
+// settleInline the round's credits are charged against the ledger
+// between measurement and stitching (sequential semantics); otherwise
+// the charge is only recorded as a reservation for the emitter to
+// settle in round order.
+func (c *campaign) roundExec(slot *roundSlot, round int, emit Sink, settleInline bool) (RoundInfo, atlas.Reservation, error) {
 	start := c.cfg.Start.Add(time.Duration(round) * c.cfg.RoundInterval)
 	info := RoundInfo{Round: round, Start: start}
-	scr := &c.scr
+	scr := &slot.scr
 
 	// Bind this round's scenario snapshot to the engine view. The
 	// branch avoids wrapping a typed-nil *Snapshot in the Overlay
@@ -225,9 +333,9 @@ func (c *campaign) runRound(round int, sink Sink) (RoundInfo, error) {
 	// quiet rounds, bit-identical to a scenario-free campaign.
 	snap := c.scenario.Snapshot(round)
 	if snap != nil {
-		c.view = c.w.Engine.View(snap)
+		slot.view = c.w.Engine.View(snap)
 	} else {
-		c.view = c.w.Engine.View(nil)
+		slot.view = c.w.Engine.View(nil)
 	}
 
 	// Step 1: endpoint selection.
@@ -293,17 +401,17 @@ func (c *campaign) runRound(round int, sink Sink) (RoundInfo, error) {
 	clear(fwd)
 	clear(rev)
 	var pings atomic.Int64
-	err := c.parallel(len(pairs), func(s *scratch, k int) error {
+	err := c.parallel(scr, len(pairs), func(s *scratch, k int) error {
 		if !windowUp[pairs[k].i] || !windowUp[pairs[k].j] {
 			pings.Add(int64(2 * c.cfg.PingsPerPair)) // pings sent, unanswered
 			return nil
 		}
 		a, b := endpoints[pairs[k].i], endpoints[pairs[k].j]
-		mf, nf, err := c.medianRTT(s, a.Endpoint(), b.Endpoint(), round, start)
+		mf, nf, err := c.medianRTT(slot.view, s, a.Endpoint(), b.Endpoint(), round, start)
 		if err != nil {
 			return err
 		}
-		mr, nrev, err := c.medianRTT(s, b.Endpoint(), a.Endpoint(), round, start)
+		mr, nrev, err := c.medianRTT(slot.view, s, b.Endpoint(), a.Endpoint(), round, start)
 		if err != nil {
 			return err
 		}
@@ -312,7 +420,7 @@ func (c *campaign) runRound(round int, sink Sink) (RoundInfo, error) {
 		return nil
 	})
 	if err != nil {
-		return info, err
+		return info, atlas.Reservation{}, err
 	}
 
 	// Step 3 (feasibility half): relays worth measuring per pair, and
@@ -423,11 +531,11 @@ func (c *campaign) runRound(round int, sink Sink) (RoundInfo, error) {
 	scr.legVals = grown(scr.legVals, ne*nr)
 	legVals := scr.legVals
 	clear(legVals)
-	err = c.parallel(len(legJobs), func(s *scratch, k int) error {
+	err = c.parallel(scr, len(legJobs), func(s *scratch, k int) error {
 		idx := int(legJobs[k])
 		probe := endpoints[idx/nr]
 		relay := &c.w.Catalog.Relays[roundRelays[idx%nr]]
-		m, n, err := c.medianRTT(s, probe.Endpoint(), relay.Endpoint, round, start)
+		m, n, err := c.medianRTT(slot.view, s, probe.Endpoint(), relay.Endpoint, round, start)
 		if err != nil {
 			return err
 		}
@@ -436,17 +544,25 @@ func (c *campaign) runRound(round int, sink Sink) (RoundInfo, error) {
 		return nil
 	})
 	if err != nil {
-		return info, err
+		return info, atlas.Reservation{}, err
 	}
 
-	// Credits: all pings of this round land on its calendar day.
+	// Credits: all pings of this round land on its calendar day. The
+	// sequential path settles the charge here, before stitching, exactly
+	// as it always has; the pipelined path records a reservation for the
+	// emitter to settle at the round's in-order emission, so out-of-order
+	// execution can never consume budget ahead of an earlier round.
 	day := int(start.Sub(c.cfg.Start).Hours() / 24)
-	if err := c.ledger.Spend(day, pings.Load()*atlas.PingCost); err != nil {
-		return info, err
+	resv := atlas.Reserve(day, pings.Load()*atlas.PingCost)
+	if settleInline {
+		if err := c.ledger.Settle(resv); err != nil {
+			return info, resv, err
+		}
 	}
 	info.PingsSent = pings.Load()
 
-	// Step 4 (stitching): build and emit observations, in pair order.
+	// Step 4 (stitching): build observations in pair order, into the
+	// real sink (sequential) or the slot's buffer (pipelined).
 	for k, p := range pairs {
 		if fwd[k] == 0 {
 			continue
@@ -463,7 +579,7 @@ func (c *campaign) runRound(round int, sink Sink) (RoundInfo, error) {
 		for t := 0; t < relays.NumTypes; t++ {
 			o.BestRelay[t] = -1
 		}
-		c.improving = c.improving[:0]
+		slot.improving = slot.improving[:0]
 		for _, pos := range feasible[k] {
 			ri := roundRelays[pos]
 			r := &c.w.Catalog.Relays[ri]
@@ -483,20 +599,21 @@ func (c *campaign) runRound(round int, sink Sink) (RoundInfo, error) {
 				o.BestRelay[t] = int32(ri)
 			}
 			if stitched < o.DirectMs {
-				c.improving = append(c.improving, ImproveEntry{Relay: uint16(ri), RelayedMs: stitched})
+				slot.improving = append(slot.improving, ImproveEntry{Relay: uint16(ri), RelayedMs: stitched})
 			}
 		}
 		// Improving entries escape into the sink, so they get an
 		// exact-size arena copy: the scratch absorbs the append growth,
 		// the observation retains not an entry more than it owns.
-		if len(c.improving) > 0 {
-			o.Improving = c.arena.alloc(len(c.improving))
-			copy(o.Improving, c.improving)
+		if len(slot.improving) > 0 {
+			o.Improving = slot.arena.alloc(len(slot.improving))
+			copy(o.Improving, slot.improving)
 		}
-		sink.Emit(o)
+		emit.Emit(o)
 		info.PairsUsable++
 	}
-	return info, nil
+	c.executed.Add(1)
+	return info, resv, nil
 }
 
 // feasibleDirect applies the Section-2.4 speed-of-light filter by direct
@@ -524,14 +641,14 @@ type scratch struct {
 // medianRTT sends the round's ping train from a to b as one batched
 // PingTrain call and returns the median in milliseconds (0 when fewer
 // than MinValidPings replies arrived) plus the number of pings sent.
-func (c *campaign) medianRTT(s *scratch, a, b latency.Endpoint, round int, windowStart time.Time) (float32, int, error) {
+func (c *campaign) medianRTT(view latency.View, s *scratch, a, b latency.Endpoint, round int, windowStart time.Time) (float32, int, error) {
 	n := c.cfg.PingsPerPair
 	if cap(s.train) < n {
 		s.train = make([]latency.PingSample, n)
 		s.vals = make([]float64, 0, n)
 	}
 	train := s.train[:n]
-	if err := c.view.PingTrain(a, b, round, windowStart, c.cfg.PingInterval, train); err != nil {
+	if err := view.PingTrain(a, b, round, windowStart, c.cfg.PingInterval, train); err != nil {
 		return 0, 0, err
 	}
 	vals := s.vals[:0]
@@ -566,26 +683,23 @@ func median(vals []float64) float64 {
 	return (vals[mid-1] + vals[mid]) / 2
 }
 
-// parallel runs fn over [0, n) with the configured worker count, each
-// worker carrying its own scratch (retained across rounds in the
-// arena), propagating the first error.
-func (c *campaign) parallel(n int, fn func(s *scratch, i int) error) error {
-	workers := c.cfg.Concurrency
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+// parallel runs fn over [0, n) with the campaign's per-round worker
+// count, each worker carrying its own scratch (retained across rounds
+// in the slot's arena), propagating the first error.
+func (c *campaign) parallel(scr *roundScratch, n int, fn func(s *scratch, i int) error) error {
+	workers := c.workers
 	if workers > n {
 		workers = n
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	if cap(c.scr.workers) < workers {
-		c.scr.workers = make([]scratch, workers)
+	if cap(scr.workers) < workers {
+		scr.workers = make([]scratch, workers)
 	}
-	c.scr.workers = c.scr.workers[:cap(c.scr.workers)]
+	scr.workers = scr.workers[:cap(scr.workers)]
 	if workers <= 1 {
-		s := &c.scr.workers[0]
+		s := &scr.workers[0]
 		for i := 0; i < n; i++ {
 			if err := fn(s, i); err != nil {
 				return err
@@ -621,7 +735,7 @@ func (c *campaign) parallel(n int, fn func(s *scratch, i int) error) error {
 					return
 				}
 			}
-		}(&c.scr.workers[w])
+		}(&scr.workers[w])
 	}
 	wg.Wait()
 	return first

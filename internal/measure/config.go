@@ -25,8 +25,21 @@ type Config struct {
 	MinValidPings int
 	// Start is the campaign start (the paper ran 20 Apr - 17 May 2017).
 	Start time.Time
-	// Concurrency bounds the worker pool; <= 0 means GOMAXPROCS.
+	// Concurrency bounds the per-round worker pool; <= 0 means a
+	// GOMAXPROCS-derived budget (divided across pipeline slots when
+	// RoundPipeline > 1, so the two parallelism axes compose without
+	// oversubscription).
 	Concurrency int
+	// RoundPipeline is the number of rounds executed concurrently.
+	// <= 1 (the default) runs the classic sequential loop. Higher
+	// depths overlap up to RoundPipeline rounds, each on its own
+	// scratch arena, while observations and RoundDone callbacks still
+	// reach the Sink strictly in round order — the emitted stream is
+	// bit-identical at every depth. Memory cost is one round arena per
+	// slot. Credit exhaustion aborts at the same round as depth 1:
+	// rounds only reserve credits while executing, and reservations
+	// settle in round order at emission.
+	RoundPipeline int
 	// CampaignSeed drives the campaign's stochastic draws (endpoint and
 	// relay sampling). 0 inherits the world seed — the classic
 	// one-world-one-campaign coupling. Setting it decouples measurement

@@ -1,0 +1,86 @@
+package measure
+
+import (
+	"fmt"
+	"sync"
+)
+
+// runPipelined executes the campaign with len(c.slots) rounds in
+// flight. Round r is statically assigned to worker r % K, which owns
+// slot r % K exclusively — the slot's scratch arena is reused across
+// that worker's rounds with exactly the sequential loop's
+// capacity-retaining resets. Workers stitch into their slot's
+// observation buffer and block until the emitter has flushed it, so at
+// most K rounds ever sit between execution and the Sink: a slow Sink
+// throttles the workers instead of growing a reorder heap.
+//
+// The emitter walks rounds in order, settling each round's credit
+// reservation before flushing it. Settlement order equals round order
+// equals the sequential executor's Spend order, so a budget exhaustion
+// surfaces at the identical round with the identical emitted prefix —
+// nothing of the failing round, nothing of any later round.
+func (c *campaign) runPipelined(sink Sink) error {
+	k := len(c.slots)
+	done := make([]chan struct{}, k) // worker w -> emitter: round finished
+	ack := make([]chan struct{}, k)  // emitter -> worker w: slot flushed
+	for w := 0; w < k; w++ {
+		done[w] = make(chan struct{})
+		ack[w] = make(chan struct{})
+	}
+	stop := make(chan struct{}) // closed by the emitter on abort
+	var wg sync.WaitGroup
+	for w := 0; w < k; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			slot := &c.slots[w]
+			for round := w; round < c.cfg.Rounds; round += k {
+				slot.obs = slot.obs[:0]
+				slot.info, slot.resv, slot.err = c.roundExec(slot, round, &slot.obs, false)
+				select {
+				case done[w] <- struct{}{}:
+				case <-stop:
+					return
+				}
+				// Wait for the flush even after the last round: the
+				// emitter acks every round it accepts, and the slot's
+				// buffer must not be reset while it is being read.
+				select {
+				case <-ack[w]:
+				case <-stop:
+					return
+				}
+				if slot.err != nil {
+					return
+				}
+			}
+		}(w)
+	}
+
+	abort := func(err error) error {
+		close(stop)
+		wg.Wait()
+		return err
+	}
+	for round := 0; round < c.cfg.Rounds; round++ {
+		w := round % k
+		<-done[w]
+		slot := &c.slots[w]
+		if slot.err != nil {
+			return abort(fmt.Errorf("measure: round %d: %w", round, slot.err))
+		}
+		// Ordered settlement: charge this round's credits now, exactly
+		// where the sequential loop would. On exhaustion, emit nothing
+		// of this round.
+		if err := c.ledger.Settle(slot.resv); err != nil {
+			return abort(fmt.Errorf("measure: round %d: %w", round, err))
+		}
+		for i := range slot.obs {
+			sink.Emit(slot.obs[i])
+		}
+		sink.RoundDone(slot.info)
+		ack[w] <- struct{}{}
+	}
+	wg.Wait()
+	return nil
+}

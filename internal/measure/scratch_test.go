@@ -31,7 +31,8 @@ func (discardSink) RoundDone(RoundInfo) {}
 // endpoints and nr relays, every leg valid, every relay feasible — so
 // any buffer the next round fails to size or clear leaks loudly.
 func poisonScratch(c *campaign, ne, nr int) {
-	scr := &c.scr
+	slot := &c.slots[0]
+	scr := &slot.scr
 	scr.exclude = make(map[atlas.ProbeID]bool, ne)
 	for i := 0; i < ne; i++ {
 		scr.exclude[atlas.ProbeID(10_000+i)] = true
@@ -74,11 +75,11 @@ func poisonScratch(c *campaign, ne, nr int) {
 		scr.legVals[i] = 77.5
 		scr.legJobs[i] = int32(i)
 	}
-	c.improving = make([]ImproveEntry, 64)
-	for i := range c.improving {
-		c.improving[i] = ImproveEntry{Relay: uint16(i), RelayedMs: 1}
+	slot.improving = make([]ImproveEntry, 64)
+	for i := range slot.improving {
+		slot.improving[i] = ImproveEntry{Relay: uint16(i), RelayedMs: 1}
 	}
-	c.arena.block = make([]ImproveEntry, improveArenaBlock/2, improveArenaBlock)
+	slot.arena.block = make([]ImproveEntry, improveArenaBlock/2, improveArenaBlock)
 }
 
 // TestShrinkingWorldNoStaleScratch is the cross-round scratch-hygiene

@@ -40,8 +40,8 @@ func TwoRelayExperiment(w *sim.World, cfg Config, round, maxPairs, maxRelays int
 		ledger: nil, // extension experiment: outside the campaign budget
 		nc:     len(w.Topo.Cities),
 		prop:   cityPropDelays(w),
-		view:   w.Engine.View(nil), // static world: the extension ignores scenarios
 	}
+	view := w.Engine.View(nil) // static world: the extension ignores scenarios
 	start := cfg.Start.Add(time.Duration(round) * cfg.RoundInterval)
 
 	endpoints := w.Selector.SampleEndpoints(c.g, round)
@@ -61,7 +61,7 @@ func TwoRelayExperiment(w *sim.World, cfg Config, round, maxPairs, maxRelays int
 	for ei, p := range endpoints {
 		row := make(legRow, len(corIdxs))
 		for k, ri := range corIdxs {
-			m, _, err := c.medianRTT(&s, p.Endpoint(), w.Catalog.Relays[ri].Endpoint, round, start)
+			m, _, err := c.medianRTT(view, &s, p.Endpoint(), w.Catalog.Relays[ri].Endpoint, round, start)
 			if err != nil {
 				return TwoRelayResult{}, err
 			}
@@ -76,7 +76,7 @@ func TwoRelayExperiment(w *sim.World, cfg Config, round, maxPairs, maxRelays int
 	}
 	for a := 0; a < len(corIdxs); a++ {
 		for b := a + 1; b < len(corIdxs); b++ {
-			m, _, err := c.medianRTT(&s, w.Catalog.Relays[corIdxs[a]].Endpoint,
+			m, _, err := c.medianRTT(view, &s, w.Catalog.Relays[corIdxs[a]].Endpoint,
 				w.Catalog.Relays[corIdxs[b]].Endpoint, round, start)
 			if err != nil {
 				return TwoRelayResult{}, err

@@ -14,12 +14,21 @@
 #   short commit hash when detached), sanitized to [A-Za-z0-9_-];
 #   override it with BENCH_REF=myref or the full path with
 #   BENCH_OUT=out.json. The ping-level benchmarks run at full benchtime
-#   (they are nanoseconds per op); the round/sweep benchmarks run one
+#   (they are nanoseconds per op); the round-level benchmarks run one
 #   iteration each (they are seconds per op); the campaign steady-state
 #   and feasibility-filter benchmarks (internal/measure) run at a fixed
-#   modest benchtime. When bench/before_pr3.txt exists — the recorded
-#   pre-optimization run — it is folded into the JSON as the "before"
-#   section.
+#   modest benchtime. The sweep benchmarks (BenchmarkSweep/*) run in
+#   their own invocation at a pinned 3-iteration benchtime: a single
+#   ~1s sweep iteration showed ±7% run-to-run noise on shared runners
+#   (BENCH_PR5's rebuild-per-campaign moved 995→1064ms with no code
+#   change on that path), so the trajectory averages a fixed iteration
+#   count over the pinned small-world workload to compare like with
+#   like. The round-pipeline benchmarks (BenchmarkCampaignRoundPipelined
+#   k1/k2/k8 and BenchmarkSweep/shared-world-pipelined) record how
+#   round-level and campaign-level parallelism compose; on a single-core
+#   runner the depths tie by design. When the BENCH_BEFORE file exists
+#   (default bench/before_pr3.txt) — the recorded pre-optimization run —
+#   it is folded into the JSON as the "before" section.
 #
 #   Set BENCH_PROFILE_DIR=dir to also write pprof cpu/mem profiles of
 #   the round-level and steady-state benchmark runs into dir (CI uploads
@@ -144,8 +153,10 @@ OUT="${BENCH_OUT:-BENCH_${ref}.json}"
 BEFORE="${BENCH_BEFORE:-bench/before_pr3.txt}"
 
 PING_BENCH='BenchmarkPingHotPath|BenchmarkPingTrain|BenchmarkBaseRTTWarm'
-ROUND_BENCH='BenchmarkRunStream|BenchmarkCampaignRound$|BenchmarkSweep|BenchmarkScenarioRound'
+ROUND_BENCH='BenchmarkRunStream|BenchmarkCampaignRound$|BenchmarkScenarioRound'
+SWEEP_BENCH='BenchmarkSweep'
 MEASURE_BENCH='BenchmarkCampaignRoundSteadyState|BenchmarkFeasibilityFilter'
+PIPELINE_BENCH='BenchmarkCampaignRoundPipelined'
 
 # Optional pprof capture: BENCH_PROFILE_DIR adds -cpuprofile/-memprofile
 # to the campaign-level runs (one profile pair per invocation). The test
@@ -165,13 +176,19 @@ trap 'rm -f "$raw"' EXIT
 echo "== ping-level benchmarks (internal/latency) ==" >&2
 go test -run '^$' -bench "$PING_BENCH" -benchmem ./internal/latency/ | tee -a "$raw" >&2
 
-echo "== round/sweep/scenario benchmarks (1 iteration each) ==" >&2
+echo "== round/scenario benchmarks (1 iteration each) ==" >&2
 # shellcheck disable=SC2046
 go test -run '^$' -bench "$ROUND_BENCH" -benchtime=1x -benchmem $(profile_flags round) . | tee -a "$raw" >&2
+
+echo "== sweep benchmarks (pinned 3 iterations; see header on noise) ==" >&2
+go test -run '^$' -bench "$SWEEP_BENCH" -benchtime=3x -benchmem . | tee -a "$raw" >&2
 
 echo "== campaign steady-state + feasibility benchmarks (internal/measure) ==" >&2
 # shellcheck disable=SC2046
 go test -run '^$' -bench "$MEASURE_BENCH" -benchtime=10x -benchmem $(profile_flags steady) ./internal/measure/ | tee -a "$raw" >&2
+
+echo "== round-pipeline benchmarks (24-round warm campaign, K=1/2/8) ==" >&2
+go test -run '^$' -bench "$PIPELINE_BENCH" -benchtime=1x -benchmem ./internal/measure/ | tee -a "$raw" >&2
 
 {
     echo '{'

@@ -91,8 +91,15 @@ type Config struct {
 	Rounds int
 	// SmallWorld selects the reduced topology for fast experimentation.
 	SmallWorld bool
-	// Concurrency bounds the measurement worker pool; 0 means GOMAXPROCS.
+	// Concurrency bounds the per-round measurement worker pool; 0 means
+	// a GOMAXPROCS-derived budget (shared across pipelined rounds).
 	Concurrency int
+	// RoundPipeline is the number of campaign rounds executed
+	// concurrently; 0 or 1 runs rounds sequentially. Results are
+	// bit-identical at every depth — observations and round callbacks
+	// always arrive in round order — so the knob trades one round
+	// arena of memory per slot for wall-clock on multi-core hosts.
+	RoundPipeline int
 	// Scenario, when non-nil, runs the campaign under a dynamic-world
 	// timeline (see Scenario); nil measures the calm, static world.
 	Scenario *Scenario

@@ -2,6 +2,7 @@ package shortcuts
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 )
 
@@ -34,15 +35,51 @@ type Sweep struct {
 	// World, when non-nil, is shared by every campaign.
 	World *World
 	// Parallelism bounds how many campaigns run concurrently; <= 0
-	// means 1. Campaigns parallelize internally via Config.Concurrency,
-	// so raising this mainly helps when campaigns are small or
-	// Concurrency is capped below the core count.
+	// means 1. In rebuild mode it also sizes the shared world-build
+	// pool: all per-seed worlds are prebuilt through it before the
+	// campaigns run, each build receiving an equal share of the
+	// machine's stage-parallelism budget.
+	//
+	// The three parallelism axes — campaigns (this knob), rounds per
+	// campaign (Config.RoundPipeline), and workers per round
+	// (Config.Concurrency) — draw from one GOMAXPROCS-derived budget:
+	// when Config.Concurrency is unset, each campaign's per-round pool
+	// is GOMAXPROCS divided by Parallelism x RoundPipeline, so
+	// composing the knobs reshapes the schedule instead of
+	// oversubscribing the cores.
 	Parallelism int
 	// SinkFor, when set, supplies a streaming Sink per seed (it may
 	// return nil). Each campaign's observations flow into its own sink;
 	// sinks for different seeds may be invoked concurrently when
 	// Parallelism > 1.
 	SinkFor func(seed int64) Sink
+}
+
+// forEach runs fn over [0, n) on a pool of the given width (width 1
+// runs inline, preserving the classic sequential order).
+func forEach(n, width int, fn func(i int)) {
+	if width <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < width; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 }
 
 // SweepResult is one campaign's outcome.
@@ -69,21 +106,63 @@ func (s Sweep) Run() ([]SweepResult, error) {
 	}
 
 	results := make([]SweepResult, len(seeds))
-	run := func(i int) {
-		seed := seeds[i]
-		results[i] = SweepResult{Seed: seed}
-		world := s.World
-		if world == nil {
+
+	// Rebuild mode: batch every per-seed world build through a shared
+	// pool before any campaign runs. Concurrent builds divide the
+	// stage-parallelism budget between them (each world is bit-identical
+	// for any budget), so N builds saturate the machine once instead of
+	// each claiming all of it — and the campaigns then start against
+	// fully built worlds.
+	worlds := make([]*World, len(seeds))
+	if s.World == nil {
+		buildPool := workers
+		if buildPool > len(seeds) {
+			buildPool = len(seeds)
+		}
+		buildBudget := runtime.GOMAXPROCS(0) / buildPool
+		if buildBudget < 1 {
+			buildBudget = 1
+		}
+		forEach(len(seeds), buildPool, func(i int) {
 			wcfg := s.Config
-			wcfg.Seed = seed
-			built, err := BuildWorld(wcfg)
+			wcfg.Seed = seeds[i]
+			built, err := buildWorldWith(wcfg, buildBudget)
 			if err != nil {
-				results[i].Err = fmt.Errorf("shortcuts: sweep seed %d: %w", seed, err)
+				results[i].Err = fmt.Errorf("shortcuts: sweep seed %d: %w", seeds[i], err)
 				return
 			}
-			world = built
+			worlds[i] = built
+		})
+	}
+
+	// One machine budget across campaign x round x per-round worker
+	// parallelism: with Concurrency unset and several campaigns running
+	// at once, each campaign gets an equal GOMAXPROCS share, which the
+	// measurement layer further divides across its pipelined rounds.
+	ccfgBase := s.Config
+	if ccfgBase.Concurrency <= 0 && workers > 1 {
+		perCampaign := runtime.GOMAXPROCS(0) / workers
+		if perCampaign < 1 {
+			perCampaign = 1
 		}
-		ccfg := s.Config
+		ccfgBase.Concurrency = perCampaign / max(1, ccfgBase.RoundPipeline)
+		if ccfgBase.Concurrency < 1 {
+			ccfgBase.Concurrency = 1
+		}
+	}
+
+	run := func(i int) {
+		seed := seeds[i]
+		results[i].Seed = seed
+		if results[i].Err != nil {
+			return // world build already failed
+		}
+		world := s.World
+		if world == nil {
+			world = worlds[i]
+			worlds[i] = nil // campaign owns it now; don't retain sweep-wide
+		}
+		ccfg := ccfgBase
 		ccfg.Seed = seed
 		c, err := NewCampaignWith(world, ccfg)
 		if err != nil {
@@ -102,28 +181,7 @@ func (s Sweep) Run() ([]SweepResult, error) {
 		results[i].Stats = stats
 	}
 
-	if workers == 1 {
-		for i := range seeds {
-			run(i)
-		}
-	} else {
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					run(i)
-				}
-			}()
-		}
-		for i := range seeds {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-	}
+	forEach(len(seeds), workers, run)
 
 	for i := range results {
 		if results[i].Err != nil {

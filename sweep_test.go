@@ -85,6 +85,38 @@ func TestSweepParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestSweepRebuildPoolMatchesSequential proves the rebuild-mode
+// prebuild pool is schedule-free: per-seed worlds built concurrently
+// through the shared pool (with divided build budgets) and campaigns
+// run with composed campaign x round parallelism must reproduce the
+// classic sequential rebuild sweep aggregate-for-aggregate.
+func TestSweepRebuildPoolMatchesSequential(t *testing.T) {
+	cfg := Config{Rounds: 2, SmallWorld: true}
+	seeds := []int64{2, 3}
+
+	seq, err := Sweep{Config: cfg, Seeds: seeds}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := cfg
+	pcfg.RoundPipeline = 2
+	par, err := Sweep{Config: pcfg, Seeds: seeds, Parallelism: 2}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seeds {
+		if seq[i].Stats.Pairs() != par[i].Stats.Pairs() ||
+			seq[i].Stats.TotalPings() != par[i].Stats.TotalPings() {
+			t.Fatalf("seed %d differs between sequential rebuild and pooled rebuild", seeds[i])
+		}
+		for _, ty := range RelayTypes() {
+			if seq[i].Stats.ImprovedFraction(ty) != par[i].Stats.ImprovedFraction(ty) {
+				t.Fatalf("seed %d %v fraction differs across rebuild scheduling", seeds[i], ty)
+			}
+		}
+	}
+}
+
 // TestSweepPerSeedWorlds checks the rebuild-per-seed mode: each entry
 // must match the classic NewCampaign over that seed.
 func TestSweepPerSeedWorlds(t *testing.T) {

@@ -26,7 +26,17 @@ type World struct {
 // the campaign dimensions of cfg are ignored). Use NewCampaignWith to
 // attach campaigns.
 func BuildWorld(cfg Config) (*World, error) {
-	w, err := core.BuildWorld(worldParams(cfg), sim.DefaultBuildOptions())
+	return buildWorldWith(cfg, 0)
+}
+
+// buildWorldWith builds a world with an explicit stage-parallelism
+// budget (<= 0 means GOMAXPROCS). Sweeps building several worlds
+// concurrently divide the machine between builds this way instead of
+// oversubscribing it; the built world is bit-identical for any budget.
+func buildWorldWith(cfg Config, buildWorkers int) (*World, error) {
+	o := sim.DefaultBuildOptions()
+	o.Workers = buildWorkers
+	w, err := core.BuildWorld(worldParams(cfg), o)
 	if err != nil {
 		return nil, err
 	}
@@ -60,6 +70,7 @@ func NewCampaignWith(w *World, cfg Config) (*Campaign, error) {
 	}
 	mc := measure.QuickConfig(cfg.Rounds)
 	mc.Concurrency = cfg.Concurrency
+	mc.RoundPipeline = cfg.RoundPipeline
 	mc.CampaignSeed = cfg.Seed
 	mc.Scenario = cfg.Scenario.innerScenario()
 	return &Campaign{inner: core.NewCampaignWith(w.inner, mc)}, nil
