@@ -36,6 +36,7 @@ func main() {
 		seeds   = flag.String("seeds", "", "comma-separated campaign seeds: sweep them all over ONE shared world (sweeps always run in streaming mode, so -stream is implied)")
 		par     = flag.Int("parallel", 1, "campaigns running concurrently in a -seeds sweep")
 		pipe    = flag.Int("pipeline", 1, "campaign rounds executing concurrently (results are identical at any depth; composes with -parallel under one core budget)")
+		budget  = flag.Int("pairbudget", 0, "endpoint pairs measured per round: 0 = exhaustive n*(n-1)/2, a positive budget switches to deterministic stratified sampling")
 		scen    = flag.String("scenario", "", "dynamic-world scenario the campaign runs under: "+strings.Join(shortcuts.ScenarioNames(), "|")+" (empty = static world)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -47,12 +48,16 @@ func main() {
 	if *seeds != "" && *out != "" {
 		fatal(fmt.Errorf("-out applies to a single campaign; drop -seeds to write figure CSVs"))
 	}
+	if err := validateFlags(*rounds, *par, *pipe, *budget); err != nil {
+		fatal(err)
+	}
 	if err := startProfiles(*cpuProf, *memProf); err != nil {
 		fatal(err)
 	}
 	defer stopProfiles()
 
-	cfg := shortcuts.Config{Seed: *seed, Rounds: *rounds, SmallWorld: *small, RoundPipeline: *pipe}
+	cfg := shortcuts.Config{Seed: *seed, Rounds: *rounds, SmallWorld: *small,
+		RoundPipeline: *pipe, PairBudget: *budget}
 	if *scen != "" {
 		sc, err := shortcuts.ScenarioByName(*scen)
 		if err != nil {
@@ -153,6 +158,27 @@ func main() {
 		}
 		fmt.Printf("\nfigure CSVs written to %s\n", *out)
 	}
+}
+
+// validateFlags rejects nonsensical flag combinations up front, before
+// minutes of world building, with errors that name the offending flag.
+func validateFlags(rounds, parallel, pipeline, pairBudget int) error {
+	if rounds <= 0 {
+		return fmt.Errorf("-rounds must be positive, got %d", rounds)
+	}
+	if parallel < 1 {
+		return fmt.Errorf("-parallel must be >= 1, got %d", parallel)
+	}
+	if pipeline < 1 {
+		return fmt.Errorf("-pipeline must be >= 1, got %d", pipeline)
+	}
+	if pipeline > rounds {
+		return fmt.Errorf("-pipeline %d exceeds -rounds %d: a pipeline slot deeper than the campaign can never fill", pipeline, rounds)
+	}
+	if pairBudget < 0 {
+		return fmt.Errorf("-pairbudget must be >= 0 (0 = exhaustive), got %d", pairBudget)
+	}
+	return nil
 }
 
 // runSweep fans one campaign per seed over the shared world and prints

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name                                   string
+		rounds, parallel, pipeline, pairBudget int
+		wantErr                                string // substring; "" = valid
+	}{
+		{"defaults", 45, 1, 1, 0, ""},
+		{"sampled sweep", 8, 4, 2, 5000, ""},
+		{"pipeline equals rounds", 4, 1, 4, 0, ""},
+		{"zero rounds", 0, 1, 1, 0, "-rounds"},
+		{"negative rounds", -3, 1, 1, 0, "-rounds"},
+		{"zero parallel", 45, 0, 1, 0, "-parallel"},
+		{"zero pipeline", 45, 1, 0, 0, "-pipeline"},
+		{"pipeline beyond rounds", 4, 1, 5, 0, "-pipeline 5 exceeds -rounds 4"},
+		{"negative pair budget", 45, 1, 1, -1, "-pairbudget"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.rounds, tc.parallel, tc.pipeline, tc.pairBudget)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error mentioning %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

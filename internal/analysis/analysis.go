@@ -140,9 +140,9 @@ func TopRelayCurve(res *measure.Results, t relays.Type, maxN int) []TopRelayPoin
 	if maxN > len(ranking) {
 		maxN = len(ranking)
 	}
-	rankOf := make(map[uint16]int, len(ranking))
+	rankOf := make(map[int32]int, len(ranking))
 	for i, rr := range ranking {
-		rankOf[uint16(rr.Relay)] = i
+		rankOf[int32(rr.Relay)] = i
 	}
 	// For each observation, the best (lowest) rank among its improving
 	// relays of this type tells the smallest N that covers it.
@@ -215,9 +215,9 @@ func ThresholdCurves(res *measure.Results, t relays.Type, topN int, thresholds [
 	if topN > len(ranking) {
 		topN = len(ranking)
 	}
-	inTop := make(map[uint16]bool, topN)
+	inTop := make(map[int32]bool, topN)
 	for _, rr := range ranking[:topN] {
-		inTop[uint16(rr.Relay)] = true
+		inTop[int32(rr.Relay)] = true
 	}
 	cat := res.World.Catalog
 	total := float64(len(res.Observations))

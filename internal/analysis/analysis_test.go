@@ -287,7 +287,7 @@ func TestLandingPointBuckets(t *testing.T) {
 		totalRelays += b.Relays
 	}
 	// Every improving COR relay lands in exactly one bucket.
-	seen := make(map[uint16]bool)
+	seen := make(map[int32]bool)
 	for i := range res.Observations {
 		for _, e := range res.Observations[i].Improving {
 			if res.World.Catalog.Relays[e.Relay].Type == relays.COR {

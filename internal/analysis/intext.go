@@ -246,7 +246,7 @@ func RAROtherBreakdown(res *measure.Results) map[string]int {
 	cat := res.World.Catalog
 	topo := res.World.Topo
 	out := make(map[string]int)
-	seen := make(map[uint16]bool)
+	seen := make(map[int32]bool)
 	for i := range res.Observations {
 		for _, e := range res.Observations[i].Improving {
 			r := &cat.Relays[e.Relay]

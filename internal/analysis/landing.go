@@ -49,7 +49,7 @@ func LandingPointProximity(res *measure.Results, boundsKm []float64) []LandingBu
 	buckets[len(bounds)].MaxDistanceKm = -1 // open
 
 	cat := res.World.Catalog
-	events := make(map[uint16]int)
+	events := make(map[int32]int)
 	for i := range res.Observations {
 		for _, e := range res.Observations[i].Improving {
 			if cat.Relays[e.Relay].Type == relays.COR {

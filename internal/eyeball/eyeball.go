@@ -29,6 +29,10 @@ type Tuple struct {
 type Selector struct {
 	cutoff   float64
 	verified map[Tuple]bool
+	// coverage retains each verified tuple's APNIC user coverage — the
+	// eyeball population signal the stratified pair sampler weights
+	// city-pair quotas by.
+	coverage map[Tuple]float64
 	// byCountry maps a country to the verified ASes that actually have
 	// eligible probes there.
 	byCountry map[string][]topology.ASN
@@ -43,11 +47,14 @@ func New(ds *apnic.Dataset, platform *atlas.Platform, cutoff float64) *Selector 
 	s := &Selector{
 		cutoff:    cutoff,
 		verified:  make(map[Tuple]bool),
+		coverage:  make(map[Tuple]float64),
 		byCountry: make(map[string][]topology.ASN),
 		platform:  platform,
 	}
 	for _, rec := range ds.EyeballASes(cutoff) {
-		s.verified[Tuple{ASN: topology.ASN(rec.ASN), CC: rec.CC}] = true
+		t := Tuple{ASN: topology.ASN(rec.ASN), CC: rec.CC}
+		s.verified[t] = true
+		s.coverage[t] = rec.Coverage
 	}
 	seen := make(map[string]bool)
 	for t := range s.verified {
@@ -72,6 +79,14 @@ func New(ds *apnic.Dataset, platform *atlas.Platform, cutoff float64) *Selector 
 // is the predicate that splits RAR_eye from RAR_other relays.
 func (s *Selector) IsEyeball(asn topology.ASN, cc string) bool {
 	return s.verified[Tuple{ASN: asn, CC: cc}]
+}
+
+// PopulationWeight returns the APNIC user coverage (percent of the
+// country's Internet users) of the verified tuple, or 0 for tuples that
+// did not pass the eyeball cutoff. It is the per-endpoint population
+// mass that budget-weighted pair sampling aggregates per city.
+func (s *Selector) PopulationWeight(asn topology.ASN, cc string) float64 {
+	return s.coverage[Tuple{ASN: asn, CC: cc}]
 }
 
 // Countries returns the countries with at least one verified eyeball AS
@@ -111,32 +126,49 @@ func (s *Selector) ASes() []topology.ASN {
 // within it. Countries whose candidate probes are all offline this round
 // are skipped.
 func (s *Selector) SampleEndpoints(g *rng.Rand, round int) []*atlas.Probe {
+	return s.SampleEndpointsInto(g, round, 1, nil)
+}
+
+// SampleEndpointsInto generalizes SampleEndpoints to perCountry probes
+// per country, appending into buf (which may be nil) and returning the
+// grown slice. The country walk, AS permutation and probe permutation
+// draws are identical to SampleEndpoints — at perCountry <= 1 the two
+// are draw-for-draw the same function — and higher quotas keep walking
+// the already-drawn permutations, collecting every responsive probe
+// until the quota fills, so scaling the per-round endpoint population
+// perturbs no other stream. Quotas above a country's responsive
+// population saturate at what the country has.
+func (s *Selector) SampleEndpointsInto(g *rng.Rand, round, perCountry int, buf []*atlas.Probe) []*atlas.Probe {
+	if perCountry < 1 {
+		perCountry = 1
+	}
 	g = g.SplitN("endpoints", round)
-	var out []*atlas.Probe
+	out := buf[:0]
 	// Permutations are drawn into two reused buffers (the AS walk stays
 	// live while probe walks run inside it) — identical draw sequence to
 	// the allocating Perm, once per country instead of once per call.
 	var asPerm, probePerm []int
 	for _, cc := range s.countries {
 		asns := s.byCountry[cc]
-		// Try ASes in random order until one yields a responsive probe.
-		var chosen *atlas.Probe
+		// Try ASes in random order, collecting responsive probes until
+		// the country's quota fills.
+		took := 0
 		asPerm = g.PermInto(asPerm, len(asns))
 		for _, ai := range asPerm {
 			probes := s.platform.EligibleIn(asns[ai], cc)
 			probePerm = g.PermInto(probePerm, len(probes))
 			for _, pi := range probePerm {
 				if s.platform.Responsive(probes[pi].ID, round) {
-					chosen = probes[pi]
-					break
+					out = append(out, probes[pi])
+					took++
+					if took == perCountry {
+						break
+					}
 				}
 			}
-			if chosen != nil {
+			if took == perCountry {
 				break
 			}
-		}
-		if chosen != nil {
-			out = append(out, chosen)
 		}
 	}
 	return out

@@ -118,3 +118,88 @@ func TestCutoffConstant(t *testing.T) {
 		t.Fatalf("Cutoff = %v, want the paper's validated 10%%", eyeball.Cutoff)
 	}
 }
+
+// TestSampleIntoMatchesClassic: at one endpoint per country the buffered
+// multi-quota sampler must be draw-for-draw identical to the historical
+// SampleEndpoints — the exhaustive golden digests depend on it — and it
+// must reuse the caller's buffer rather than allocate.
+func TestSampleIntoMatchesClassic(t *testing.T) {
+	w := testWorld(t)
+	classic := w.Selector.SampleEndpoints(rng.New(5), 3)
+	buf := w.Selector.SampleEndpointsInto(rng.New(5), 3, 1, nil)
+	if len(classic) != len(buf) {
+		t.Fatalf("sizes differ: %d vs %d", len(classic), len(buf))
+	}
+	for i := range classic {
+		if classic[i].ID != buf[i].ID {
+			t.Fatalf("samples diverge at %d: probe %d vs %d", i, classic[i].ID, buf[i].ID)
+		}
+	}
+	reused := w.Selector.SampleEndpointsInto(rng.New(5), 3, 1, buf)
+	if &reused[0] != &buf[0] {
+		t.Fatal("sampler abandoned the caller's buffer")
+	}
+}
+
+// TestSamplePerCountryQuota: a higher quota keeps every invariant of the
+// one-per-country sample (eligibility, eyeball verification,
+// responsiveness, determinism) while growing the population, with at
+// most perCountry endpoints per country and the quota-1 prefix drawn
+// identically.
+func TestSamplePerCountryQuota(t *testing.T) {
+	w := testWorld(t)
+	const quota = 3
+	eps := w.Selector.SampleEndpointsInto(rng.New(7), 2, quota, nil)
+	one := w.Selector.SampleEndpointsInto(rng.New(7), 2, 1, nil)
+	if len(eps) <= len(one) {
+		t.Fatalf("quota %d yielded %d endpoints, quota 1 yielded %d", quota, len(eps), len(one))
+	}
+	perCC := make(map[string]int)
+	for _, p := range eps {
+		perCC[p.CC]++
+		if perCC[p.CC] > quota {
+			t.Fatalf("country %s exceeds quota: %d", p.CC, perCC[p.CC])
+		}
+		if !p.Eligible() || !w.Selector.IsEyeball(p.AS, p.CC) || !w.Atlas.Responsive(p.ID, 2) {
+			t.Fatalf("probe %d violates sampling invariants", p.ID)
+		}
+	}
+	multi := 0
+	for _, n := range perCC {
+		if n > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatalf("no country filled more than one slot at quota %d", quota)
+	}
+	again := w.Selector.SampleEndpointsInto(rng.New(7), 2, quota, nil)
+	for i := range eps {
+		if eps[i].ID != again[i].ID {
+			t.Fatalf("quota sample not deterministic at %d", i)
+		}
+	}
+}
+
+// TestPopulationWeight: verified eyeball tuples carry their APNIC
+// coverage as a positive weight; unverified tuples weigh zero.
+func TestPopulationWeight(t *testing.T) {
+	w := testWorld(t)
+	positive := 0
+	for _, a := range w.Topo.ASesOfType(topology.Eyeball) {
+		if !w.Selector.IsEyeball(a.ASN, a.CC) {
+			continue
+		}
+		if wt := w.Selector.PopulationWeight(a.ASN, a.CC); wt > 0 {
+			positive++
+		} else {
+			t.Fatalf("verified eyeball %d/%s has weight %v", a.ASN, a.CC, wt)
+		}
+	}
+	if positive == 0 {
+		t.Fatal("no verified eyeball carried a positive weight")
+	}
+	if wt := w.Selector.PopulationWeight(1, "ZZ"); wt != 0 {
+		t.Fatalf("unknown tuple has weight %v", wt)
+	}
+}

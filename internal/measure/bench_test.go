@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -216,4 +217,66 @@ func BenchmarkFeasibilityFilter(b *testing.B) {
 		b.ReportMetric(checks, "checks/op")
 		b.ReportMetric(float64(n), "feasible")
 	})
+}
+
+// BenchmarkMillionEndpointRound is the scale-tier benchmark: a world
+// grown to ~100k endpoints (ScaleWorldParams), every country's full
+// responsive population drafted each round, and the pair universe —
+// nearly five billion at this scale — never materialized: a fixed
+// PairBudget draws a stratified sample per round. The timed quantity is
+// one warm round; endpoints/sec is the population the round carried
+// divided by its wall time. The 1M tier multiplies the world build by
+// ~10x, so it is opt-in via SHORTCUTS_BENCH_1M=1. Run with
+// -benchtime=1x in CI: the world build dominates setup and one
+// iteration is a stable round measurement.
+func BenchmarkMillionEndpointRound(b *testing.B) {
+	tiers := []struct {
+		name   string
+		target int
+	}{{"100k", 100_000}}
+	if os.Getenv("SHORTCUTS_BENCH_1M") != "" {
+		tiers = append(tiers, struct {
+			name   string
+			target int
+		}{"1M", 1_000_000})
+	}
+	for _, tier := range tiers {
+		b.Run(tier.name, func(b *testing.B) {
+			wp := sim.ScaleWorldParams(1, tier.target)
+			// Route warming walks every AS at build time; the scale tiers
+			// measure the round loop, and sampled rounds fault in only the
+			// routes they touch.
+			w, err := sim.BuildWith(wp, sim.BuildOptions{WarmRoutes: false})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := QuickConfig(2)
+			cfg.DailyCreditLimit = 0
+			cfg.PairBudget = 4096
+			cfg.EndpointsPerCountry = 1 << 20 // draft every responsive probe
+			c, err := newCampaign(w, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var endpoints int
+			for r := 0; r < 2; r++ {
+				info, err := c.runRound(r, discardSink{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				endpoints = info.Endpoints
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.runRound(1, discardSink{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			perRound := b.Elapsed().Seconds() / float64(b.N)
+			b.ReportMetric(float64(endpoints), "endpoints")
+			b.ReportMetric(float64(endpoints)/perRound, "endpoints/sec")
+		})
+	}
 }

@@ -46,6 +46,7 @@ package measure
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sort"
 	"sync"
@@ -59,6 +60,7 @@ import (
 	"shortcuts/internal/rng"
 	"shortcuts/internal/scenario"
 	"shortcuts/internal/sim"
+	"shortcuts/internal/topology"
 )
 
 // Run executes the campaign and materializes the full observation
@@ -109,6 +111,12 @@ func newCampaign(w *sim.World, cfg Config) (*campaign, error) {
 	if err != nil {
 		return nil, fmt.Errorf("measure: %w", err)
 	}
+	if cfg.PairBudget < 0 {
+		return nil, fmt.Errorf("measure: PairBudget must be >= 0, got %d", cfg.PairBudget)
+	}
+	if cfg.EndpointsPerCountry < 0 {
+		return nil, fmt.Errorf("measure: EndpointsPerCountry must be >= 0, got %d", cfg.EndpointsPerCountry)
+	}
 	// The propagation matrix and the feasibility memo derive purely from
 	// the world, so every campaign over one world — and a sweep runs
 	// many, concurrently — shares a single instance.
@@ -133,10 +141,13 @@ func newCampaign(w *sim.World, cfg Config) (*campaign, error) {
 			workers = 1
 		}
 	}
+	g := rng.New(campaignSeed(cfg, w)).Split("campaign")
 	return &campaign{
 		w:        w,
 		cfg:      cfg,
-		g:        rng.New(campaignSeed(cfg, w)).Split("campaign"),
+		g:        g,
+		pairBase: g.Stream("pairs"),
+		cols:     w.Columns,
 		ledger:   atlas.NewLedger(cfg.DailyCreditLimit),
 		nc:       feas.nc,
 		prop:     feas.prop,
@@ -164,6 +175,15 @@ type campaign struct {
 	nc     int             // city count (side of the prop matrix)
 	prop   []time.Duration // flat nc x nc one-way propagation delays
 	feas   *feasMemo       // per-city-pair feasibility rankings
+
+	// cols is the world's columnar endpoint layout: the round loop reads
+	// endpoint attributes (AS, city, access delay, strings) as flat array
+	// loads instead of chasing *atlas.Probe pointers.
+	cols *sim.EndpointColumns
+	// pairBase seeds the stratified pair sampler. Every sampling draw
+	// derives from (campaign seed, "pairs", round, stratum) — never from
+	// call order — so sampled plans are schedule-independent.
+	pairBase rng.Stream
 
 	// scenario is the compiled dynamic-world timeline (nil when none is
 	// configured); each slot binds its round's snapshot to its own view.
@@ -228,30 +248,48 @@ type obsBuffer []Observation
 func (b *obsBuffer) Emit(o Observation)  { *b = append(*b, o) }
 func (b *obsBuffer) RoundDone(RoundInfo) {}
 
-// pairIdx addresses one endpoint pair by its positions in the round's
-// endpoint sample.
-type pairIdx struct{ i, j int }
-
 // roundScratch is the arena of per-round buffers. Every field is either
 // fully overwritten each round or explicitly cleared by reset, so a
 // round following a larger one can never observe stale values
 // (regression-tested by the shrinking-world test).
 type roundScratch struct {
 	exclude     map[atlas.ProbeID]bool
+	probes      []*atlas.Probe // endpoint sample buffer (SampleEndpointsInto)
+	eps         []int32        // per endpoint: row in the world's columns
 	roundRelays []int
 	windowUp    []bool    // per endpoint: answers through the window
 	relayUp     []bool    // per relay position: alive through the window
 	relayCity   []int32   // per relay position: home city
 	livePos     []int32   // relay positions not churned out this round
-	pairs       []pairIdx // the round's endpoint-pair universe
+	plan        pairPlan  // the round's pair universe (closed-form or sampled)
 	fwd, rev    []float32 // per pair: direct medians, both directions
-	needLeg     []bool    // flat (endpoint x relay position) leg demand
-	legVals     []float32 // flat (endpoint x relay position) leg medians
-	legJobs     []int32   // flat indices of legs to measure, ascending
-	feasBuf     []int32   // feasible relay positions, all pairs back to back
-	feasOff     []int     // per-pair extents into feasBuf
-	feasible    [][]int32 // per-pair views into feasBuf
 	workers     []scratch // per-worker medianRTT scratch
+
+	// Leg demand over (active endpoint x relay position), as a bitset
+	// plus a prefix-popcount rank so measured medians pack into a
+	// compact array: memory scales with legs actually measured, not with
+	// the dense ne x nr grid (ruinous at sampled million-endpoint scale).
+	activeOf   []int32   // per endpoint: dense active index, -1 if inactive
+	activeList []int32   // active endpoint positions, ascending
+	legBits    []uint64  // (active x relay) demand bitset, nrW words per row
+	legCum     []int32   // per word: set bits before it (rank directory)
+	legVals    []float32 // compact leg medians, one per set bit, bit order
+	legJobs    []int64   // flat active*nr+pos of legs to measure, ascending
+
+	feasBuf  []int32   // feasible relay positions, all pairs back to back
+	feasOff  []int     // per-pair extents into feasBuf
+	feasible [][]int32 // per-pair views into feasBuf
+
+	// Stratified pair-sampling scratch (buildPairPlan).
+	sPairs     []pairIdx32 // the sampled plan, stratum-major
+	cityCount  []int32     // per city: endpoints this round
+	cityStart  []int32     // per city: extent starts into byCity
+	cityFill   []int32     // counting-sort cursor
+	byCity     []int32     // endpoint positions grouped by city, ascending
+	cityList   []int32     // occupied cities, ascending
+	cityWeight []float64   // per city: summed eyeball population weight
+	strataT    []int64     // one stratum's sampled ordinals, sort buffer
+	sampleSeen map[sampleKey]bool
 }
 
 // grown returns s resized to n, reusing capacity when it suffices. The
@@ -338,15 +376,26 @@ func (c *campaign) roundExec(slot *roundSlot, round int, emit Sink, settleInline
 		slot.view = c.w.Engine.View(nil)
 	}
 
-	// Step 1: endpoint selection.
-	endpoints := c.w.Selector.SampleEndpoints(c.g, round)
-	info.Endpoints = len(endpoints)
+	// Step 1: endpoint selection. The sample lands in the slot's reused
+	// probe buffer and is immediately mapped to column rows; everything
+	// downstream reads endpoint attributes from the columns.
+	perCountry := c.cfg.EndpointsPerCountry
+	if perCountry < 1 {
+		perCountry = 1
+	}
+	scr.probes = c.w.Selector.SampleEndpointsInto(c.g, round, perCountry, scr.probes)
+	ne := len(scr.probes)
+	info.Endpoints = ne
+	cols := c.cols
+	scr.eps = grown(scr.eps, ne)
+	eps := scr.eps
 	if scr.exclude == nil {
-		scr.exclude = make(map[atlas.ProbeID]bool, len(endpoints))
+		scr.exclude = make(map[atlas.ProbeID]bool, ne)
 	} else {
 		clear(scr.exclude)
 	}
-	for _, p := range endpoints {
+	for i, p := range scr.probes {
+		eps[i] = cols.Row(p.ID)
 		scr.exclude[p.ID] = true
 	}
 
@@ -365,10 +414,10 @@ func (c *campaign) roundExec(slot *roundSlot, round int, emit Sink, settleInline
 	// Mid-window outages: probes were selected as responsive, but some
 	// stop answering during the 30-minute window. Pairs (and legs)
 	// touching such probes yield no valid medians this round.
-	scr.windowUp = grown(scr.windowUp, len(endpoints))
+	scr.windowUp = grown(scr.windowUp, ne)
 	windowUp := scr.windowUp
-	for i, p := range endpoints {
-		windowUp[i] = c.w.Atlas.WindowUp(p.ID, round)
+	for i := 0; i < ne; i++ {
+		windowUp[i] = c.w.Atlas.WindowUp(atlas.ProbeID(cols.ProbeID[eps[i]]), round)
 	}
 	scr.relayUp = grown(scr.relayUp, nr)
 	relayUp := scr.relayUp
@@ -379,39 +428,40 @@ func (c *campaign) roundExec(slot *roundSlot, round int, emit Sink, settleInline
 		relayUp[pos] = r.ProbeID == 0 || c.w.Atlas.WindowUp(r.ProbeID, round)
 	}
 
-	// Step 2: direct paths, both directions. The pair universe has a
-	// closed-form size; fwd/rev are zeroed because unresponsive pairs
-	// must read as "no valid median" (0), not as last round's value.
-	ne := len(endpoints)
-	scr.pairs = scr.pairs[:0]
-	if cap(scr.pairs) < ne*(ne-1)/2 {
-		scr.pairs = make([]pairIdx, 0, ne*(ne-1)/2)
+	// Step 2: direct paths, both directions. The pair universe is never
+	// materialized: the exhaustive plan addresses the triangular space in
+	// closed form (pairAt inverts ordinal -> (i, j)); a PairBudget below
+	// the universe size switches to the stratified sample, whose index
+	// list is the only per-pair slice the round ever builds. fwd/rev are
+	// zeroed because unresponsive pairs must read as "no valid median"
+	// (0), not as last round's value.
+	plan := &scr.plan
+	plan.ne = ne
+	plan.idx = nil
+	if c.cfg.PairBudget > 0 && c.cfg.PairBudget < pairCount(ne) {
+		plan.idx = c.buildPairPlan(scr, eps, round)
 	}
-	for i := 0; i < ne; i++ {
-		for j := i + 1; j < ne; j++ {
-			scr.pairs = append(scr.pairs, pairIdx{i, j})
-		}
-	}
-	pairs := scr.pairs
-	info.PairsAttempted = len(pairs)
+	np := plan.count()
+	info.PairsAttempted = np
 
-	scr.fwd = grown(scr.fwd, len(pairs))
-	scr.rev = grown(scr.rev, len(pairs))
+	scr.fwd = grown(scr.fwd, np)
+	scr.rev = grown(scr.rev, np)
 	fwd, rev := scr.fwd, scr.rev
 	clear(fwd)
 	clear(rev)
 	var pings atomic.Int64
-	err := c.parallel(scr, len(pairs), func(s *scratch, k int) error {
-		if !windowUp[pairs[k].i] || !windowUp[pairs[k].j] {
+	err := c.parallel(scr, np, func(s *scratch, k int) error {
+		i, j := plan.at(k)
+		if !windowUp[i] || !windowUp[j] {
 			pings.Add(int64(2 * c.cfg.PingsPerPair)) // pings sent, unanswered
 			return nil
 		}
-		a, b := endpoints[pairs[k].i], endpoints[pairs[k].j]
-		mf, nf, err := c.medianRTT(slot.view, s, a.Endpoint(), b.Endpoint(), round, start)
+		a, b := cols.Endpoint(eps[i]), cols.Endpoint(eps[j])
+		mf, nf, err := c.medianRTT(slot.view, s, a, b, round, start)
 		if err != nil {
 			return err
 		}
-		mr, nrev, err := c.medianRTT(slot.view, s, b.Endpoint(), a.Endpoint(), round, start)
+		mr, nrev, err := c.medianRTT(slot.view, s, b, a, round, start)
 		if err != nil {
 			return err
 		}
@@ -450,26 +500,69 @@ func (c *campaign) roundExec(slot *roundSlot, round int, emit Sink, settleInline
 		}
 	}
 	livePos := scr.livePos
-	scr.needLeg = grown(scr.needLeg, ne*nr)
-	needLeg := scr.needLeg
-	clear(needLeg)
-	scr.feasOff = grown(scr.feasOff, len(pairs)+1)
+
+	// The active endpoint set: every endpoint some plan pair touches, in
+	// ascending position order. Exhaustive plans activate everything (the
+	// identity mapping, so leg indices match the historical dense layout
+	// order); sampled plans compact to the touched subset, which is what
+	// keeps the leg bitset's row count at O(sampled endpoints).
+	scr.activeOf = grown(scr.activeOf, ne)
+	activeOf := scr.activeOf
+	scr.activeList = scr.activeList[:0]
+	if plan.idx == nil {
+		for i := 0; i < ne; i++ {
+			activeOf[i] = int32(i)
+			scr.activeList = append(scr.activeList, int32(i))
+		}
+	} else {
+		for i := range activeOf {
+			activeOf[i] = -1
+		}
+		for _, p := range plan.idx {
+			activeOf[p.i] = 0
+			activeOf[p.j] = 0
+		}
+		for i := 0; i < ne; i++ {
+			if activeOf[i] == 0 {
+				activeOf[i] = int32(len(scr.activeList))
+				scr.activeList = append(scr.activeList, int32(i))
+			} else {
+				activeOf[i] = -1
+			}
+		}
+	}
+	activeList := scr.activeList
+	nA := len(activeList)
+
+	// Leg demand as a bitset over (active endpoint x relay position):
+	// nrW words per active row, cleared up front so a bit reads true only
+	// when this round set it.
+	nrW := (nr + 63) / 64
+	scr.legBits = grown(scr.legBits, nA*nrW)
+	legBits := scr.legBits
+	clear(legBits)
+	markLeg := func(e int, pos int32) {
+		legBits[int(activeOf[e])*nrW+int(pos)>>6] |= 1 << (uint(pos) & 63)
+	}
+
+	scr.feasOff = grown(scr.feasOff, np+1)
 	feasOff := scr.feasOff
 	feasBuf := scr.feasBuf[:0]
-	for k, p := range pairs {
+	for it := newPairIter(plan); it.next(); {
+		k := it.k
 		feasOff[k] = len(feasBuf)
 		if fwd[k] == 0 {
 			continue // unresponsive pair: no relay measurements either
 		}
-		a, b := endpoints[p.i], endpoints[p.j]
+		aCity, bCity := int(cols.City[eps[it.i]]), int(cols.City[eps[it.j]])
 		directRTT := time.Duration(float64(fwd[k]) * float64(time.Millisecond))
 		if c.cfg.DisableFeasibilityFilter {
 			// Ablation: every live relay is feasible.
 			for _, pos := range livePos {
 				feasBuf = append(feasBuf, pos)
 				if relayUp[pos] {
-					needLeg[p.i*nr+int(pos)] = true
-					needLeg[p.j*nr+int(pos)] = true
+					markLeg(it.i, pos)
+					markLeg(it.j, pos)
 				}
 			}
 			continue
@@ -477,11 +570,11 @@ func (c *campaign) roundExec(slot *roundSlot, round int, emit Sink, settleInline
 		if c.feas.slow {
 			// Overflow fallback: the direct arithmetic predicate.
 			for _, pos := range livePos {
-				if c.feasibleDirect(a.City, int(relayCity[pos]), b.City, directRTT) {
+				if c.feasibleDirect(aCity, int(relayCity[pos]), bCity, directRTT) {
 					feasBuf = append(feasBuf, pos)
 					if relayUp[pos] {
-						needLeg[p.i*nr+int(pos)] = true
-						needLeg[p.j*nr+int(pos)] = true
+						markLeg(it.i, pos)
+						markLeg(it.j, pos)
 					}
 				}
 			}
@@ -490,56 +583,60 @@ func (c *campaign) roundExec(slot *roundSlot, round int, emit Sink, settleInline
 		// Memoized filter: one binary search per pair, then one rank
 		// compare per live relay — exactly equivalent to the direct
 		// arithmetic predicate (see feasMemo).
-		cf := c.feas.pairFeas(a.City, b.City)
+		cf := c.feas.pairFeas(aCity, bCity)
 		cut := cf.feasibleRank(directRTT)
 		rank := cf.rank
 		for _, pos := range livePos {
 			if rank[relayCity[pos]] < cut {
 				feasBuf = append(feasBuf, pos)
 				if relayUp[pos] {
-					needLeg[p.i*nr+int(pos)] = true
-					needLeg[p.j*nr+int(pos)] = true
+					markLeg(it.i, pos)
+					markLeg(it.j, pos)
 				}
 			}
 		}
 	}
-	feasOff[len(pairs)] = len(feasBuf)
+	feasOff[np] = len(feasBuf)
 	scr.feasBuf = feasBuf
-	scr.feasible = grown(scr.feasible, len(pairs))
+	scr.feasible = grown(scr.feasible, np)
 	feasible := scr.feasible // relay positions per pair
-	for k := range pairs {
+	for k := 0; k < np; k++ {
 		feasible[k] = feasBuf[feasOff[k]:feasOff[k+1]:feasOff[k+1]]
 	}
 
-	// Step 4 (legs): measure each needed endpoint-relay pair once. The
-	// ascending flat index yields a deterministic job order. legVals is
-	// zeroed so a leg skipped this round reads as invalid, never as a
-	// stale median from a previous (larger) round.
-	nLegs := 0
-	for _, need := range needLeg {
-		if need {
-			nLegs++
+	// Step 4 (legs): measure each needed endpoint-relay leg once. Jobs
+	// walk the bitset in ascending flat (active x relay) order — in
+	// exhaustive mode the identical deterministic order the historical
+	// dense layout produced — and job ordinal k IS the leg's bitset rank,
+	// so the k-th median lands directly in the compact value slot the
+	// stitch lookup rank-addresses. While the jobs are enumerated, the
+	// per-word running rank is recorded as the legCum directory.
+	scr.legCum = grown(scr.legCum, nA*nrW+1)
+	legCum := scr.legCum
+	scr.legJobs = scr.legJobs[:0]
+	for gw := 0; gw < nA*nrW; gw++ {
+		legCum[gw] = int32(len(scr.legJobs))
+		word := legBits[gw]
+		ai, wi := gw/nrW, gw%nrW
+		for word != 0 {
+			pos := wi*64 + bits.TrailingZeros64(word)
+			scr.legJobs = append(scr.legJobs, int64(ai)*int64(nr)+int64(pos))
+			word &= word - 1
 		}
 	}
-	scr.legJobs = grown(scr.legJobs, nLegs)[:0]
-	for idx, need := range needLeg {
-		if need {
-			scr.legJobs = append(scr.legJobs, int32(idx))
-		}
-	}
+	legCum[nA*nrW] = int32(len(scr.legJobs))
 	legJobs := scr.legJobs
-	scr.legVals = grown(scr.legVals, ne*nr)
+	scr.legVals = grown(scr.legVals, len(legJobs))
 	legVals := scr.legVals
-	clear(legVals)
 	err = c.parallel(scr, len(legJobs), func(s *scratch, k int) error {
-		idx := int(legJobs[k])
-		probe := endpoints[idx/nr]
-		relay := &c.w.Catalog.Relays[roundRelays[idx%nr]]
-		m, n, err := c.medianRTT(slot.view, s, probe.Endpoint(), relay.Endpoint, round, start)
+		idx := legJobs[k]
+		e := int(activeList[int(idx/int64(nr))])
+		relay := &c.w.Catalog.Relays[roundRelays[int(idx%int64(nr))]]
+		m, n, err := c.medianRTT(slot.view, s, cols.Endpoint(eps[e]), relay.Endpoint, round, start)
 		if err != nil {
 			return err
 		}
-		legVals[idx] = m
+		legVals[k] = m
 		pings.Add(int64(n))
 		return nil
 	})
@@ -562,23 +659,27 @@ func (c *campaign) roundExec(slot *roundSlot, round int, emit Sink, settleInline
 	info.PingsSent = pings.Load()
 
 	// Step 4 (stitching): build observations in pair order, into the
-	// real sink (sequential) or the slot's buffer (pipelined).
-	for k, p := range pairs {
+	// real sink (sequential) or the slot's buffer (pipelined). Every
+	// observation field is a column read; leg medians come back through
+	// the bitset rank lookup.
+	for it := newPairIter(plan); it.next(); {
+		k := it.k
 		if fwd[k] == 0 {
 			continue
 		}
-		a, b := endpoints[p.i], endpoints[p.j]
+		ra, rb := eps[it.i], eps[it.j]
 		o := Observation{
 			Round:    round,
-			SrcProbe: a.ID, DstProbe: b.ID,
-			SrcAS: a.AS, DstAS: b.AS,
-			SrcCC: a.CC, DstCC: b.CC,
-			SrcCont: c.continentOf(a), DstCont: c.continentOf(b),
+			SrcProbe: atlas.ProbeID(cols.ProbeID[ra]), DstProbe: atlas.ProbeID(cols.ProbeID[rb]),
+			SrcAS: topology.ASN(cols.AS[ra]), DstAS: topology.ASN(cols.AS[rb]),
+			SrcCC: cols.CCString(ra), DstCC: cols.CCString(rb),
+			SrcCont: cols.ContString(ra), DstCont: cols.ContString(rb),
 			DirectMs: fwd[k], RevDirectMs: rev[k],
 		}
 		for t := 0; t < relays.NumTypes; t++ {
 			o.BestRelay[t] = -1
 		}
+		ai, aj := int(activeOf[it.i]), int(activeOf[it.j])
 		slot.improving = slot.improving[:0]
 		for _, pos := range feasible[k] {
 			ri := roundRelays[pos]
@@ -587,8 +688,8 @@ func (c *campaign) roundExec(slot *roundSlot, round int, emit Sink, settleInline
 			if !relayUp[pos] {
 				continue
 			}
-			la := legVals[p.i*nr+int(pos)]
-			lb := legVals[p.j*nr+int(pos)]
+			la := scr.legVal(nrW, ai, int(pos))
+			lb := scr.legVal(nrW, aj, int(pos))
 			if la == 0 || lb == 0 {
 				continue // a leg had too few valid replies
 			}
@@ -599,7 +700,7 @@ func (c *campaign) roundExec(slot *roundSlot, round int, emit Sink, settleInline
 				o.BestRelay[t] = int32(ri)
 			}
 			if stitched < o.DirectMs {
-				slot.improving = append(slot.improving, ImproveEntry{Relay: uint16(ri), RelayedMs: stitched})
+				slot.improving = append(slot.improving, ImproveEntry{Relay: int32(ri), RelayedMs: stitched})
 			}
 		}
 		// Improving entries escape into the sink, so they get an
@@ -626,8 +727,18 @@ func (c *campaign) feasibleDirect(srcCity, relayCity, dstCity int, directRTT tim
 	return ideal <= directRTT
 }
 
-func (c *campaign) continentOf(p *atlas.Probe) string {
-	return c.w.Topo.Cities[p.City].Continent
+// legVal returns the measured leg median for (active endpoint ai, relay
+// position pos), or 0 when that leg was not measured this round: the
+// bitset word answers "measured?", and the rank directory plus an
+// in-word popcount addresses the compact value array.
+func (scr *roundScratch) legVal(nrW, ai, pos int) float32 {
+	gw := ai*nrW + pos>>6
+	word := scr.legBits[gw]
+	bit := uint64(1) << (uint(pos) & 63)
+	if word&bit == 0 {
+		return 0
+	}
+	return scr.legVals[int(scr.legCum[gw])+bits.OnesCount64(word&(bit-1))]
 }
 
 // scratch is per-worker reusable state: medianRTT is called millions of

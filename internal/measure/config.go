@@ -40,6 +40,24 @@ type Config struct {
 	// rounds only reserve credits while executing, and reservations
 	// settle in round order at emission.
 	RoundPipeline int
+	// PairBudget caps the endpoint pairs measured per round. 0 (the
+	// default) measures the exhaustive n*(n-1)/2 universe, exactly as
+	// the paper does at its ~160-endpoint scale. A positive budget below
+	// the universe size switches the round to deterministic stratified
+	// sampling: per-city-pair quotas proportional to the strata's eyeball
+	// population weights, drawn from an rng stream keyed by (seed, round)
+	// — never by schedule — so sampled streams are bit-identical at any
+	// Concurrency, shard count or RoundPipeline depth. A budget at or
+	// above the universe size is a no-op (the round stays exhaustive and
+	// bit-identical to PairBudget 0). Negative budgets are rejected.
+	PairBudget int
+	// EndpointsPerCountry raises the per-round endpoint quota per
+	// country ( <= 0 or 1 keeps the paper's one probe per country).
+	// Draw-for-draw compatible at 1 with the historical sampler; higher
+	// quotas grow the round's endpoint population toward the ROADMAP's
+	// million-endpoint scale, which is only tractable together with
+	// PairBudget.
+	EndpointsPerCountry int
 	// CampaignSeed drives the campaign's stochastic draws (endpoint and
 	// relay sampling). 0 inherits the world seed — the classic
 	// one-world-one-campaign coupling. Setting it decouples measurement

@@ -45,6 +45,18 @@ type feasMemo struct {
 	mu    sync.RWMutex
 	pairs map[int64]*cityFeas
 
+	// Slab state, guarded by mu (build runs under the write lock): a
+	// first round faults in thousands of pair entries, and four heap
+	// allocations per entry dominated its profile. Entries now carve
+	// their struct, ideal array and rank array out of shared slabs
+	// (feasSlabPairs entries per slab), and the sort scratch is reused
+	// across builds, so the build burst costs a few dozen allocations
+	// instead of tens of thousands.
+	ranked    []cityIdeal
+	cfSlab    []cityFeas
+	idealSlab []time.Duration
+	rankSlab  []uint16
+
 	// slow disables the memo for (hypothetical) worlds whose relay-city
 	// count would overflow the uint16 ranks; the round loop then falls
 	// back to the direct arithmetic predicate.
@@ -81,9 +93,22 @@ func newFeasMemo(w *sim.World, nc int, prop []time.Duration) *feasMemo {
 	return m
 }
 
+// cityIdeal is the feasibility sort record: one relay city and its ideal
+// relayed RTT for the pair being built.
+type cityIdeal struct {
+	ideal time.Duration
+	city  int32
+}
+
+// feasSlabPairs is the slab granularity: how many pair entries each
+// struct/ideal/rank slab serves before the next slab is allocated.
+const feasSlabPairs = 256
+
 // pairFeas returns (building on first use) the ranking for the
 // (cityA, cityB) endpoint pair. The ideal is symmetric in the endpoint
-// cities, so both orientations share one entry.
+// cities, so both orientations share one entry. Builds run under the
+// write lock — they draw on the memo's shared slabs — so concurrent
+// campaigns faulting the same pair build it exactly once.
 func (m *feasMemo) pairFeas(cityA, cityB int) *cityFeas {
 	lo, hi := cityA, cityB
 	if lo > hi {
@@ -96,22 +121,23 @@ func (m *feasMemo) pairFeas(cityA, cityB int) *cityFeas {
 	if cf != nil {
 		return cf
 	}
-	built := m.build(lo, hi) // deterministic: racing builders agree
 	m.mu.Lock()
 	if cf = m.pairs[key]; cf == nil {
-		cf = built
+		cf = m.build(lo, hi)
 		m.pairs[key] = cf
 	}
 	m.mu.Unlock()
 	return cf
 }
 
+// build constructs one pair entry from the memo's slabs. The caller
+// holds m.mu.
 func (m *feasMemo) build(lo, hi int) *cityFeas {
-	type cityIdeal struct {
-		ideal time.Duration
-		city  int32
+	nrc := len(m.relayCities)
+	if cap(m.ranked) < nrc {
+		m.ranked = make([]cityIdeal, nrc)
 	}
-	ranked := make([]cityIdeal, len(m.relayCities))
+	ranked := m.ranked[:nrc]
 	for i, c := range m.relayCities {
 		ideal := 2 * (m.prop[lo*m.nc+int(c)] + m.prop[int(c)*m.nc+hi])
 		ranked[i] = cityIdeal{ideal: ideal, city: c}
@@ -125,10 +151,17 @@ func (m *feasMemo) build(lo, hi int) *cityFeas {
 		}
 		return int(a.city - b.city) // deterministic tie order
 	})
-	cf := &cityFeas{
-		sortedIdeal: make([]time.Duration, len(ranked)),
-		rank:        make([]uint16, m.nc),
+	if len(m.cfSlab) == 0 {
+		m.cfSlab = make([]cityFeas, feasSlabPairs)
+		m.idealSlab = make([]time.Duration, feasSlabPairs*nrc)
+		m.rankSlab = make([]uint16, feasSlabPairs*m.nc)
 	}
+	cf := &m.cfSlab[0]
+	m.cfSlab = m.cfSlab[1:]
+	cf.sortedIdeal = m.idealSlab[:nrc:nrc]
+	m.idealSlab = m.idealSlab[nrc:]
+	cf.rank = m.rankSlab[:m.nc:m.nc]
+	m.rankSlab = m.rankSlab[m.nc:]
 	for i := range cf.rank {
 		cf.rank[i] = noRelayRank
 	}

@@ -1,0 +1,52 @@
+package measure
+
+import "testing"
+
+// TestPairAtMatchesDoubleLoop proves the closed-form triangular inversion
+// reproduces the canonical `for i { for j := i+1 }` enumeration exactly —
+// the property the exhaustive golden digests rest on — across sizes that
+// exercise the float estimate's edges (tiny, odd, pow2, larger).
+func TestPairAtMatchesDoubleLoop(t *testing.T) {
+	for _, ne := range []int{2, 3, 4, 5, 7, 16, 63, 64, 65, 161, 500} {
+		k := 0
+		for i := 0; i < ne; i++ {
+			for j := i + 1; j < ne; j++ {
+				gi, gj := pairAt(ne, k)
+				if gi != i || gj != j {
+					t.Fatalf("ne=%d k=%d: pairAt=(%d,%d), want (%d,%d)", ne, k, gi, gj, i, j)
+				}
+				k++
+			}
+		}
+		if k != pairCount(ne) {
+			t.Fatalf("ne=%d: enumerated %d pairs, pairCount says %d", ne, k, pairCount(ne))
+		}
+	}
+}
+
+// TestPairIterMatchesAt proves the incremental iterator visits the same
+// sequence as ordinal indexing, for exhaustive and sampled plans.
+func TestPairIterMatchesAt(t *testing.T) {
+	plans := []pairPlan{
+		{ne: 9},
+		{ne: 2},
+		{ne: 100, idx: []pairIdx32{{0, 3}, {1, 2}, {5, 99}}},
+		{ne: 4, idx: []pairIdx32{}},
+	}
+	for pi := range plans {
+		p := &plans[pi]
+		n := 0
+		for it := newPairIter(p); it.next(); n++ {
+			if it.k != n {
+				t.Fatalf("plan %d: iterator k=%d at step %d", pi, it.k, n)
+			}
+			wi, wj := p.at(n)
+			if it.i != wi || it.j != wj {
+				t.Fatalf("plan %d k=%d: iter=(%d,%d) at=(%d,%d)", pi, n, it.i, it.j, wi, wj)
+			}
+		}
+		if n != p.count() {
+			t.Fatalf("plan %d: iterated %d pairs, count says %d", pi, n, p.count())
+		}
+	}
+}

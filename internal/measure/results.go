@@ -10,8 +10,10 @@ import (
 )
 
 // ImproveEntry records one relay that beat the direct path for a pair.
+// Relay is int32, not uint16: scale-tier catalogs (ScaleWorldParams)
+// exceed 65k relays, and the 8-byte struct layout is unchanged.
 type ImproveEntry struct {
-	Relay     uint16  // catalog index
+	Relay     int32   // catalog index
 	RelayedMs float32 // stitched median RTT via this relay
 }
 

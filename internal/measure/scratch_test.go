@@ -52,14 +52,15 @@ func poisonScratch(c *campaign, ne, nr int) {
 		scr.windowUp[i] = true
 	}
 	np := ne * (ne - 1) / 2
-	scr.pairs = make([]pairIdx, np)
+	scr.plan = pairPlan{ne: ne, idx: make([]pairIdx32, np)}
+	scr.sPairs = scr.plan.idx
 	scr.fwd = make([]float32, np)
 	scr.rev = make([]float32, np)
 	scr.feasOff = make([]int, np+1)
 	scr.feasible = make([][]int32, np)
 	scr.feasBuf = make([]int32, np)
 	for i := 0; i < np; i++ {
-		scr.pairs[i] = pairIdx{i % ne, (i + 1) % ne}
+		scr.plan.idx[i] = pairIdx32{int32(i % ne), int32((i + 1) % ne)}
 		scr.fwd[i] = 123.25
 		scr.rev[i] = 321.75
 		scr.feasOff[i] = i
@@ -67,17 +68,45 @@ func poisonScratch(c *campaign, ne, nr int) {
 		scr.feasible[i] = scr.feasBuf[i : i+1]
 	}
 	scr.feasOff[np] = np
-	scr.needLeg = make([]bool, ne*nr)
+	scr.probes = make([]*atlas.Probe, ne)
+	scr.eps = make([]int32, ne)
+	scr.activeOf = make([]int32, ne)
+	scr.activeList = make([]int32, ne)
+	for i := 0; i < ne; i++ {
+		scr.eps[i] = int32(i % 3)
+		scr.activeOf[i] = int32((i + 1) % ne)
+		scr.activeList[i] = int32((i + 2) % ne)
+	}
+	nrW := (nr + 63) / 64
+	scr.legBits = make([]uint64, ne*nrW)
+	scr.legCum = make([]int32, ne*nrW+1)
 	scr.legVals = make([]float32, ne*nr)
-	scr.legJobs = make([]int32, ne*nr)
+	scr.legJobs = make([]int64, ne*nr)
 	for i := 0; i < ne*nr; i++ {
-		scr.needLeg[i] = true
 		scr.legVals[i] = 77.5
-		scr.legJobs[i] = int32(i)
+		scr.legJobs[i] = int64(i)
+	}
+	for i := range scr.legBits {
+		scr.legBits[i] = ^uint64(0)
+		scr.legCum[i] = int32(i * 13)
+	}
+	scr.cityCount = make([]int32, 5)
+	scr.cityStart = make([]int32, 6)
+	scr.cityFill = make([]int32, 5)
+	scr.byCity = make([]int32, ne)
+	scr.cityList = make([]int32, 5)
+	scr.cityWeight = make([]float64, 5)
+	scr.strataT = make([]int64, 9)
+	scr.sampleSeen = map[sampleKey]bool{{1, 2}: true}
+	for i := range scr.cityCount {
+		scr.cityCount[i] = 9
+		scr.cityFill[i] = 9
+		scr.cityList[i] = int32(i)
+		scr.cityWeight[i] = 3.5
 	}
 	slot.improving = make([]ImproveEntry, 64)
 	for i := range slot.improving {
-		slot.improving[i] = ImproveEntry{Relay: uint16(i), RelayedMs: 1}
+		slot.improving[i] = ImproveEntry{Relay: int32(i), RelayedMs: 1}
 	}
 	slot.arena.block = make([]ImproveEntry, improveArenaBlock/2, improveArenaBlock)
 }

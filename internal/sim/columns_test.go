@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"shortcuts/internal/atlas"
+)
+
+// TestColumnsMirrorProbes proves every column row reproduces its probe's
+// attributes exactly — IDs, AS, city, strings (byte-equal through the
+// tables), flags, weights, and the full-precision measurement endpoint —
+// so the round loop can read columns in place of probe structs without
+// perturbing a single observation field.
+func TestColumnsMirrorProbes(t *testing.T) {
+	w, err := Build(SmallWorldParams(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := w.Columns
+	probes := w.Atlas.Probes()
+	if cols == nil || cols.Len() != len(probes) {
+		t.Fatalf("columns hold %d rows, fleet has %d probes", cols.Len(), len(probes))
+	}
+	eyeballs := 0
+	for _, p := range probes {
+		row := cols.Row(p.ID)
+		if row < 0 {
+			t.Fatalf("probe %d has no row", p.ID)
+		}
+		if atlas.ProbeID(cols.ProbeID[row]) != p.ID || int(cols.AS[row]) != int(p.AS) ||
+			int(cols.City[row]) != p.City {
+			t.Fatalf("probe %d: identity columns diverge", p.ID)
+		}
+		if cols.CCString(row) != p.CC {
+			t.Fatalf("probe %d: CC %q != %q", p.ID, cols.CCString(row), p.CC)
+		}
+		city := &w.Topo.Cities[p.City]
+		if cols.ContString(row) != city.Continent {
+			t.Fatalf("probe %d: continent %q != %q", p.ID, cols.ContString(row), city.Continent)
+		}
+		if cols.Endpoint(row) != p.Endpoint() {
+			t.Fatalf("probe %d: endpoint %+v != %+v", p.ID, cols.Endpoint(row), p.Endpoint())
+		}
+		f := cols.Flags[row]
+		if got, want := f&FlagEligible != 0, p.Eligible(); got != want {
+			t.Fatalf("probe %d: eligible flag %v, probe says %v", p.ID, got, want)
+		}
+		if got, want := f&FlagAnchor != 0, p.Anchor; got != want {
+			t.Fatalf("probe %d: anchor flag %v, probe says %v", p.ID, got, want)
+		}
+		isEye := w.Selector.IsEyeball(p.AS, p.CC)
+		if got := f&FlagEyeball != 0; got != isEye {
+			t.Fatalf("probe %d: eyeball flag %v, selector says %v", p.ID, got, isEye)
+		}
+		if isEye {
+			eyeballs++
+			if want := float32(w.Selector.PopulationWeight(p.AS, p.CC)); cols.Weight[row] != want {
+				t.Fatalf("probe %d: weight %v != %v", p.ID, cols.Weight[row], want)
+			}
+		} else if cols.Weight[row] != 0 {
+			t.Fatalf("probe %d: non-eyeball probe carries weight %v", p.ID, cols.Weight[row])
+		}
+	}
+	if eyeballs == 0 {
+		t.Fatal("no eyeball rows; the weight column was never exercised")
+	}
+	// Absent IDs resolve to no row, in and beyond the dense range.
+	if cols.Row(0) != -1 || cols.Row(atlas.ProbeID(1<<30)) != -1 {
+		t.Fatal("absent probe IDs must map to row -1")
+	}
+}
+
+// TestColumnsBuildDeterministic: the columns stage draws no randomness,
+// so two builds of the same seed — whatever the build-pool schedule did
+// to stage ordering — must produce identical columns.
+func TestColumnsBuildDeterministic(t *testing.T) {
+	w1, err := Build(SmallWorldParams(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := BuildWith(SmallWorldParams(23), BuildOptions{Workers: 8, WarmRoutes: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w1.Columns, w2.Columns) {
+		t.Fatal("columns differ between sequential and parallel builds of one seed")
+	}
+}
+
+// TestScaleWorldParams checks the endpoint-scale knob: tiny targets keep
+// the paper fleet, larger targets grow only the per-AS eyeball base, and
+// the growth is monotone in the target.
+func TestScaleWorldParams(t *testing.T) {
+	def := DefaultWorldParams(1)
+	small := ScaleWorldParams(1, 100)
+	if small.Atlas.EyeballBaseProbes != def.Atlas.EyeballBaseProbes {
+		t.Fatalf("tiny target moved the probe base: %d != %d",
+			small.Atlas.EyeballBaseProbes, def.Atlas.EyeballBaseProbes)
+	}
+	k100 := ScaleWorldParams(1, 100_000)
+	m1 := ScaleWorldParams(1, 1_000_000)
+	if k100.Atlas.EyeballBaseProbes <= def.Atlas.EyeballBaseProbes {
+		t.Fatalf("100k target did not grow the fleet (base %d)", k100.Atlas.EyeballBaseProbes)
+	}
+	if m1.Atlas.EyeballBaseProbes <= k100.Atlas.EyeballBaseProbes {
+		t.Fatalf("scaling is not monotone: 1M base %d <= 100k base %d",
+			m1.Atlas.EyeballBaseProbes, k100.Atlas.EyeballBaseProbes)
+	}
+	// Everything but the Atlas fleet keeps paper dimensions.
+	m1.Atlas = def.Atlas
+	if !reflect.DeepEqual(m1, def) {
+		t.Fatal("ScaleWorldParams changed more than the Atlas fleet")
+	}
+}

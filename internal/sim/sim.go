@@ -75,6 +75,32 @@ func SmallWorldParams(seed int64) WorldParams {
 	return p
 }
 
+// ScaleWorldParams returns the default-dimension world with the Atlas
+// eyeball fleet scaled so that a measurement round sampling every
+// responsive eligible probe (measure.Config.EndpointsPerCountry set
+// high) sees roughly targetEndpoints endpoints. Only the per-AS probe
+// deployment grows — topology, relay quotas and every other subsystem
+// keep their paper dimensions — so the knob isolates endpoint-plane
+// scale, the axis the ROADMAP's million-endpoint open item is about.
+//
+// The target is approximate (the eligible and responsive fractions are
+// stochastic): expect the realized round population within ~20%.
+func ScaleWorldParams(seed int64, targetEndpoints int) WorldParams {
+	p := DefaultWorldParams(seed)
+	// Measured on the seed-1 default world: ~159 verified eyeball ASes
+	// end up hosting drafted probes; per deployed probe, the Section-2.1
+	// eligibility filters and round availability pass ~0.53 endpoints
+	// into a round; coverage and jitter add ~9.5 probes per AS on top of
+	// the base.
+	const eyeballASes, perProbeYield, coverageTerm = 159.0, 0.532, 9.5
+	base := int(float64(targetEndpoints)/(eyeballASes*perProbeYield) - coverageTerm)
+	if base < p.Atlas.EyeballBaseProbes {
+		base = p.Atlas.EyeballBaseProbes
+	}
+	p.Atlas.EyeballBaseProbes = base
+	return p
+}
+
 // World is the composed simulation.
 type World struct {
 	Params    WorldParams
@@ -91,6 +117,7 @@ type World struct {
 	Catalog   *relays.Catalog
 	Sampler   *relays.Sampler
 	Selector  *eyeball.Selector
+	Columns   *EndpointColumns
 
 	// cache backs SharedCache. Its presence makes World non-copyable
 	// (use the *World that Build returns, as all code already does).
@@ -206,6 +233,10 @@ func worldStages() []buildStage {
 		}},
 		{name: "eyeball", deps: []string{"apnic", "atlas"}, run: func(w *World, p WorldParams, g *rng.Rand) error {
 			w.Selector = eyeball.New(w.Apnic, w.Atlas, p.EyeballCutoff)
+			return nil
+		}},
+		{name: "columns", deps: []string{"atlas", "topology", "eyeball"}, run: func(w *World, p WorldParams, g *rng.Rand) error {
+			w.Columns = BuildEndpointColumns(w.Atlas, w.Topo, w.Selector)
 			return nil
 		}},
 		{name: "relays", deps: []string{"peeringdb", "facmap", "periscope", "planetlab", "eyeball"}, run: func(w *World, p WorldParams, g *rng.Rand) error {

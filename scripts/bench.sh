@@ -26,7 +26,12 @@
 #   like. The round-pipeline benchmarks (BenchmarkCampaignRoundPipelined
 #   k1/k2/k8 and BenchmarkSweep/shared-world-pipelined) record how
 #   round-level and campaign-level parallelism compose; on a single-core
-#   runner the depths tie by design. When the BENCH_BEFORE file exists
+#   runner the depths tie by design. The scale-tier benchmark
+#   (BenchmarkMillionEndpointRound/100k) runs one warm sampled round
+#   over a ~100k-endpoint world and records the derived endpoints/sec
+#   throughput alongside ns/op; the 1M tier is opt-in via
+#   SHORTCUTS_BENCH_1M=1 (the world build alone is ~10x the 100k
+#   tier's). When the BENCH_BEFORE file exists
 #   (default bench/before_pr3.txt) — the recorded pre-optimization run —
 #   it is folded into the JSON as the "before" section.
 #
@@ -64,15 +69,18 @@ parse_bench() {
         name = $1
         sub(/-[0-9]+$/, "", name)
         iters = $2
-        ns = "null"; bytes = "null"; allocs = "null"
+        ns = "null"; bytes = "null"; allocs = "null"; eps = "null"
         for (i = 3; i < NF; i++) {
             if ($(i + 1) == "ns/op") ns = $i
             else if ($(i + 1) == "B/op") bytes = $i
             else if ($(i + 1) == "allocs/op") allocs = $i
+            else if ($(i + 1) == "endpoints/sec") eps = $i
         }
         if (n++) printf(",\n")
-        printf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", \
+        printf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s", \
                name, iters, ns, bytes, allocs)
+        if (eps != "null") printf(", \"endpoints_per_sec\": %s", eps)
+        printf("}")
     }
     END { if (n) printf("\n") }
     ' "$1"
@@ -157,6 +165,7 @@ ROUND_BENCH='BenchmarkRunStream|BenchmarkCampaignRound$|BenchmarkScenarioRound'
 SWEEP_BENCH='BenchmarkSweep'
 MEASURE_BENCH='BenchmarkCampaignRoundSteadyState|BenchmarkFeasibilityFilter'
 PIPELINE_BENCH='BenchmarkCampaignRoundPipelined'
+SCALE_BENCH='BenchmarkMillionEndpointRound'
 
 # Optional pprof capture: BENCH_PROFILE_DIR adds -cpuprofile/-memprofile
 # to the campaign-level runs (one profile pair per invocation). The test
@@ -189,6 +198,9 @@ go test -run '^$' -bench "$MEASURE_BENCH" -benchtime=10x -benchmem $(profile_fla
 
 echo "== round-pipeline benchmarks (24-round warm campaign, K=1/2/8) ==" >&2
 go test -run '^$' -bench "$PIPELINE_BENCH" -benchtime=1x -benchmem ./internal/measure/ | tee -a "$raw" >&2
+
+echo "== scale-tier benchmark (100k-endpoint sampled round; SHORTCUTS_BENCH_1M=1 adds 1M) ==" >&2
+go test -run '^$' -bench "$SCALE_BENCH" -benchtime=1x -benchmem -timeout 40m ./internal/measure/ | tee -a "$raw" >&2
 
 {
     echo '{'

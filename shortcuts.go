@@ -100,6 +100,15 @@ type Config struct {
 	// always arrive in round order — so the knob trades one round
 	// arena of memory per slot for wall-clock on multi-core hosts.
 	RoundPipeline int
+	// PairBudget caps the endpoint pairs measured per round. 0 (the
+	// default) measures the exhaustive n*(n-1)/2 universe, exactly as
+	// the paper does. A positive budget below the universe size switches
+	// rounds to deterministic stratified sampling — per-city-pair quotas
+	// weighted by eyeball population, drawn from streams keyed by
+	// (seed, round) — so sampled campaigns stay bit-reproducible at any
+	// Concurrency or RoundPipeline. Budgets at or above the universe
+	// size are a no-op; negative budgets are rejected.
+	PairBudget int
 	// Scenario, when non-nil, runs the campaign under a dynamic-world
 	// timeline (see Scenario); nil measures the calm, static world.
 	Scenario *Scenario

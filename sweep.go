@@ -82,6 +82,33 @@ func forEach(n, width int, fn func(i int)) {
 	wg.Wait()
 }
 
+// sweepBudget divides one campaign's core share (perCampaign) across its
+// two inner parallelism axes: pipelined rounds and per-round workers.
+// The requested pipeline depth is clamped to the share — a slot needs a
+// core of its own, or the extra in-flight rounds only add arena memory
+// and emitter coordination on top of an already-saturated machine (the
+// measured pipelined-sweep regression: extra slots at one worker each
+// ran ~70% slower than the plain sweep). Emitted streams are
+// bit-identical at every depth, so the clamp changes the schedule, never
+// the results.
+func sweepBudget(perCampaign, pipeline int) (concurrency, depth int) {
+	if perCampaign < 1 {
+		perCampaign = 1
+	}
+	depth = pipeline
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > perCampaign {
+		depth = perCampaign
+	}
+	concurrency = perCampaign / depth
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	return concurrency, depth
+}
+
 // SweepResult is one campaign's outcome.
 type SweepResult struct {
 	Seed  int64
@@ -137,18 +164,17 @@ func (s Sweep) Run() ([]SweepResult, error) {
 
 	// One machine budget across campaign x round x per-round worker
 	// parallelism: with Concurrency unset and several campaigns running
-	// at once, each campaign gets an equal GOMAXPROCS share, which the
-	// measurement layer further divides across its pipelined rounds.
+	// at once, each campaign gets an equal GOMAXPROCS share, divided
+	// across its pipelined rounds — and the pipeline depth itself is
+	// clamped to the share (see sweepBudget).
 	ccfgBase := s.Config
 	if ccfgBase.Concurrency <= 0 && workers > 1 {
 		perCampaign := runtime.GOMAXPROCS(0) / workers
 		if perCampaign < 1 {
 			perCampaign = 1
 		}
-		ccfgBase.Concurrency = perCampaign / max(1, ccfgBase.RoundPipeline)
-		if ccfgBase.Concurrency < 1 {
-			ccfgBase.Concurrency = 1
-		}
+		ccfgBase.Concurrency, ccfgBase.RoundPipeline =
+			sweepBudget(perCampaign, ccfgBase.RoundPipeline)
 	}
 
 	run := func(i int) {

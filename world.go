@@ -71,6 +71,7 @@ func NewCampaignWith(w *World, cfg Config) (*Campaign, error) {
 	mc := measure.QuickConfig(cfg.Rounds)
 	mc.Concurrency = cfg.Concurrency
 	mc.RoundPipeline = cfg.RoundPipeline
+	mc.PairBudget = cfg.PairBudget
 	mc.CampaignSeed = cfg.Seed
 	mc.Scenario = cfg.Scenario.innerScenario()
 	return &Campaign{inner: core.NewCampaignWith(w.inner, mc)}, nil
