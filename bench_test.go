@@ -2,6 +2,7 @@ package shortcuts
 
 import (
 	"io"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -51,7 +52,10 @@ func benchResults(b *testing.B) (*sim.World, *measure.Results) {
 // sequential/parallel pair isolates the staged-DAG speedup (identical
 // work, different schedule; the gap needs real cores to show), and
 // parallel-warm adds the BGP tree precompute campaigns would otherwise
-// pay at round 0.
+// pay at round 0. The scale tiers build the grown worlds the
+// million-endpoint round benchmark runs over (routes unwarmed — sampled
+// rounds fault in only what they touch); the 1M tier is opt-in via
+// SHORTCUTS_BENCH_1M=1, matching BenchmarkMillionEndpointRound.
 func BenchmarkWorldBuild(b *testing.B) {
 	for _, bc := range []struct {
 		name string
@@ -64,6 +68,29 @@ func BenchmarkWorldBuild(b *testing.B) {
 		b.Run(bc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				w, err := sim.BuildWith(sim.DefaultWorldParams(1), bc.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(w.Catalog.Relays) == 0 {
+					b.Fatal("empty catalog")
+				}
+			}
+		})
+	}
+	tiers := []struct {
+		name   string
+		target int
+	}{{"scale-100k", 100_000}}
+	if os.Getenv("SHORTCUTS_BENCH_1M") != "" {
+		tiers = append(tiers, struct {
+			name   string
+			target int
+		}{"scale-1M", 1_000_000})
+	}
+	for _, tier := range tiers {
+		b.Run(tier.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w, err := sim.BuildWith(sim.ScaleWorldParams(1, tier.target), sim.BuildOptions{WarmRoutes: false})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -37,6 +37,7 @@ func main() {
 		par     = flag.Int("parallel", 1, "campaigns running concurrently in a -seeds sweep")
 		pipe    = flag.Int("pipeline", 1, "campaign rounds executing concurrently (results are identical at any depth; composes with -parallel under one core budget)")
 		budget  = flag.Int("pairbudget", 0, "endpoint pairs measured per round: 0 = exhaustive n*(n-1)/2, a positive budget switches to deterministic stratified sampling")
+		scale   = flag.Int("scale", 0, "grow the world to roughly this many responsive endpoints and run the scale-tier campaign path (requires -pairbudget; incompatible with -small)")
 		scen    = flag.String("scenario", "", "dynamic-world scenario the campaign runs under: "+strings.Join(shortcuts.ScenarioNames(), "|")+" (empty = static world)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -48,7 +49,7 @@ func main() {
 	if *seeds != "" && *out != "" {
 		fatal(fmt.Errorf("-out applies to a single campaign; drop -seeds to write figure CSVs"))
 	}
-	if err := validateFlags(*rounds, *par, *pipe, *budget); err != nil {
+	if err := validateFlags(*rounds, *par, *pipe, *budget, *scale, *small); err != nil {
 		fatal(err)
 	}
 	if err := startProfiles(*cpuProf, *memProf); err != nil {
@@ -57,7 +58,7 @@ func main() {
 	defer stopProfiles()
 
 	cfg := shortcuts.Config{Seed: *seed, Rounds: *rounds, SmallWorld: *small,
-		RoundPipeline: *pipe, PairBudget: *budget}
+		RoundPipeline: *pipe, PairBudget: *budget, ScaleEndpoints: *scale}
 	if *scen != "" {
 		sc, err := shortcuts.ScenarioByName(*scen)
 		if err != nil {
@@ -162,7 +163,7 @@ func main() {
 
 // validateFlags rejects nonsensical flag combinations up front, before
 // minutes of world building, with errors that name the offending flag.
-func validateFlags(rounds, parallel, pipeline, pairBudget int) error {
+func validateFlags(rounds, parallel, pipeline, pairBudget, scale int, small bool) error {
 	if rounds <= 0 {
 		return fmt.Errorf("-rounds must be positive, got %d", rounds)
 	}
@@ -177,6 +178,15 @@ func validateFlags(rounds, parallel, pipeline, pairBudget int) error {
 	}
 	if pairBudget < 0 {
 		return fmt.Errorf("-pairbudget must be >= 0 (0 = exhaustive), got %d", pairBudget)
+	}
+	if scale < 0 {
+		return fmt.Errorf("-scale must be >= 0 (0 = the default world), got %d", scale)
+	}
+	if scale > 0 && small {
+		return fmt.Errorf("-scale and -small select conflicting worlds; pick one")
+	}
+	if scale > 0 && pairBudget == 0 {
+		return fmt.Errorf("-scale %d requires -pairbudget: the exhaustive pair universe is quadratic in the population and unmeasurable at scale", scale)
 	}
 	return nil
 }

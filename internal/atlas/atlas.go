@@ -11,7 +11,11 @@ package atlas
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"shortcuts/internal/latency"
@@ -81,6 +85,18 @@ type Platform struct {
 	probeLabel  []string
 	windowLabel []string
 
+	// availFast seeds the scale-tier availability coins; respBase and
+	// windBase are its per-probe derivations (indexed by ProbeID like
+	// the labels), so a ResponsiveFast coin is one 8-byte hash fold and
+	// one SplitMix64 step instead of BoolSplitN's pooled generator
+	// reseed (~13µs of lagged-Fibonacci table rebuild per coin — the
+	// dominant cost of a million-endpoint round). The fast coins are a
+	// deliberately different stream family from Responsive/WindowUp:
+	// campaigns opt in per-config and pin their own golden digests.
+	availFast rng.Stream
+	respBase  []rng.Stream
+	windBase  []rng.Stream
+
 	// OfflineProb is the per-round probability that a probe is offline
 	// at selection time.
 	OfflineProb float64
@@ -120,6 +136,14 @@ type Params struct {
 	OfflineProb float64
 	// WindowOutageProb is the mid-window outage probability.
 	WindowOutageProb float64
+	// ShardedDeployment switches Generate to the scale-tier fleet
+	// generator: per-AS value-type rng streams drawn in parallel shards
+	// instead of one sequential generator walk. The fleet it produces is
+	// deterministic and independent of worker count or goroutine
+	// schedule, but it is a *different* deterministic fleet than the
+	// sequential walk — ScaleWorldParams worlds opt in, paper-scale
+	// worlds (and their golden digests) keep the sequential path.
+	ShardedDeployment bool
 }
 
 // DefaultParams sizes the fleet so the eligible eyeball population lands
@@ -151,6 +175,15 @@ func DefaultParams() Params {
 
 // Generate deploys the fleet over the topology.
 func Generate(g *rng.Rand, topo *topology.Topology, p Params) *Platform {
+	return GenerateWith(g, topo, p, 1)
+}
+
+// GenerateWith is Generate with an explicit worker budget. Workers only
+// matter when p.ShardedDeployment is set: the sharded generator draws
+// each AS's deployment from its own value-type stream, so shards are
+// independent and the fleet is bit-identical for every worker count.
+// The sequential path ignores workers entirely.
+func GenerateWith(g *rng.Rand, topo *topology.Topology, p Params, workers int) *Platform {
 	g = g.Split("atlas")
 	pl := &Platform{
 		byCC:             make(map[string][]*Probe),
@@ -159,6 +192,37 @@ func Generate(g *rng.Rand, topo *topology.Topology, p Params) *Platform {
 		OfflineProb:      p.OfflineProb,
 		WindowOutageProb: p.WindowOutageProb,
 	}
+	if p.ShardedDeployment {
+		pl.generateSharded(g, topo, p, workers)
+	} else {
+		pl.generateSequential(g, topo, p)
+	}
+	pl.finalize()
+	return pl
+}
+
+// maxProbeEstimate upper-bounds the fleet size without consuming a
+// single draw, so probes can be laid out in one flat block up front
+// (appending 1.9M individual *Probe allocations dominates scale-tier
+// build profiles otherwise).
+func maxProbeEstimate(topo *topology.Topology, p Params) int {
+	est := 0
+	for _, a := range topo.ASes {
+		if a.Type == topology.Eyeball {
+			est += p.EyeballBaseProbes + int(a.Coverage/p.EyeballCoverageDiv) + 3
+		} else if p.OtherNetProb[a.Type] > 0 {
+			est += p.OtherNetMax
+		}
+	}
+	return est
+}
+
+// generateSequential is the original one-generator walk over the AS
+// list: the draw sequence (and therefore the fleet) is byte-identical
+// to every previous release, which the golden digests pin.
+func (pl *Platform) generateSequential(g *rng.Rand, topo *topology.Topology, p Params) {
+	block := make([]Probe, 0, maxProbeEstimate(topo, p))
+	pl.probes = make([]*Probe, 0, cap(block))
 	id := ProbeID(1000)
 	for _, a := range topo.ASes {
 		var n int
@@ -175,7 +239,8 @@ func Generate(g *rng.Rand, topo *topology.Topology, p Params) *Platform {
 		}
 		for i := 0; i < n; i++ {
 			city := a.PoPs[g.Intn(len(a.PoPs))]
-			pr := &Probe{
+			pr := probeSlot(&block)
+			*pr = Probe{
 				ID:        id,
 				AS:        a.ASN,
 				CC:        a.CC,
@@ -212,13 +277,137 @@ func Generate(g *rng.Rand, topo *topology.Topology, p Params) *Platform {
 			id++
 		}
 	}
-	pl.finalize()
-	return pl
+}
+
+// probeSlot carves the next Probe from the flat block while capacity
+// lasts (the estimate is an upper bound, so it always does in practice)
+// and degrades to individual allocation if it ever doesn't — pointers
+// into the block must never be invalidated by a regrow.
+func probeSlot(block *[]Probe) *Probe {
+	if len(*block) < cap(*block) {
+		*block = (*block)[:len(*block)+1]
+		return &(*block)[len(*block)-1]
+	}
+	return &Probe{}
+}
+
+// generateSharded deploys the fleet with one value-type stream per AS,
+// drawn in parallel shards. Determinism does not depend on scheduling:
+// every AS's draws come only from its own stream (derived from the AS
+// index), probe IDs come from a prefix sum over per-AS counts, and the
+// final registry walk is sequential in AS order. The count draws are
+// taken twice (sizing pass, then attribute pass re-derives the stream)
+// so the two passes need no cross-AS coordination.
+func (pl *Platform) generateSharded(g *rng.Rand, topo *topology.Topology, p Params, workers int) {
+	base := g.Stream("deploy")
+	ases := topo.ASes
+	counts := make([]int32, len(ases))
+	drawCount := func(s *rng.Stream, a *topology.AS) int {
+		if a.Type == topology.Eyeball {
+			return p.EyeballBaseProbes + int(a.Coverage/p.EyeballCoverageDiv) + s.IntBetween(0, 3)
+		}
+		if s.Bool(p.OtherNetProb[a.Type]) {
+			return s.IntBetween(1, p.OtherNetMax)
+		}
+		return 0
+	}
+	parallelASes(len(ases), workers, func(i int) {
+		s := base.At(uint64(i))
+		counts[i] = int32(drawCount(&s, ases[i]))
+	})
+	offsets := make([]int32, len(ases)+1)
+	for i, n := range counts {
+		offsets[i+1] = offsets[i] + n
+	}
+	total := int(offsets[len(ases)])
+	block := make([]Probe, total)
+	parallelASes(len(ases), workers, func(i int) {
+		a := ases[i]
+		s := base.At(uint64(i))
+		drawCount(&s, a) // burn the sizing draws; attributes follow
+		for j := 0; j < int(counts[i]); j++ {
+			pr := &block[int(offsets[i])+j]
+			*pr = Probe{
+				ID:        ProbeID(1000 + int(offsets[i]) + j),
+				AS:        a.ASN,
+				CC:        a.CC,
+				City:      a.PoPs[s.IntBetween(0, len(a.PoPs)-1)],
+				Firmware:  firmwareDrawStream(&s, p.CurrentFirmwareProb),
+				Public:    s.Bool(p.PublicProb),
+				Connected: s.Bool(p.ConnectedProb),
+				GeoTagged: s.Bool(p.GeoTaggedProb),
+			}
+			if s.Bool(p.FullyStableProb) {
+				pr.StableDays = 30
+			} else {
+				pr.StableDays = s.IntBetween(0, 29)
+			}
+			if a.Type == topology.Eyeball {
+				ms := s.LogNormal(math.Log(6), 0.45)
+				if ms < 1.5 {
+					ms = 1.5
+				}
+				if ms > 30 {
+					ms = 30
+				}
+				pr.Access = time.Duration(ms * float64(time.Millisecond))
+			} else {
+				pr.Anchor = s.Bool(p.AnchorProb)
+				if pr.Anchor {
+					pr.Access = time.Duration(s.IntBetween(50, 300)) * time.Microsecond
+				} else {
+					pr.Access = time.Duration(s.IntBetween(100, 1000)) * time.Microsecond
+				}
+			}
+		}
+	})
+	pl.probes = make([]*Probe, 0, total)
+	for i := range ases {
+		if counts[i] == 0 {
+			continue
+		}
+		pl.byAS[ases[i].ASN] = make([]*Probe, 0, counts[i])
+		for j := 0; j < int(counts[i]); j++ {
+			pl.add(&block[int(offsets[i])+j])
+		}
+	}
+}
+
+// parallelASes fans f over [0, n) with the given worker budget; callers
+// guarantee f(i) touches only index-i state.
+func parallelASes(n, workers int, f func(i int)) {
+	if workers <= 1 || n < 64 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // finalize builds the post-generation lookup structures: the per-(asn,
-// cc) eligibility memo and the per-probe availability-stream labels.
-// Probe attributes never change after Generate, so both are immutable.
+// cc) eligibility memo, the per-probe availability-stream labels, and
+// the per-probe fast-coin stream bases. Probe attributes never change
+// after Generate, so all are immutable. The per-probe fills are pure
+// per-index writes, so they run sharded over the fleet.
 func (pl *Platform) finalize() {
 	pl.eligible = make(map[eligKey][]*Probe)
 	maxID := ProbeID(0)
@@ -231,12 +420,19 @@ func (pl *Platform) finalize() {
 			maxID = p.ID
 		}
 	}
+	pl.availFast = pl.avail.Stream("fast-avail")
 	pl.probeLabel = make([]string, int(maxID)+1)
 	pl.windowLabel = make([]string, int(maxID)+1)
-	for _, p := range pl.probes {
-		pl.probeLabel[p.ID] = fmt.Sprintf("probe-%d", p.ID)
-		pl.windowLabel[p.ID] = fmt.Sprintf("window-%d", p.ID)
-	}
+	pl.respBase = make([]rng.Stream, int(maxID)+1)
+	pl.windBase = make([]rng.Stream, int(maxID)+1)
+	parallelASes(len(pl.probes), runtime.GOMAXPROCS(0), func(i int) {
+		p := pl.probes[i]
+		s := strconv.Itoa(int(p.ID))
+		pl.probeLabel[p.ID] = "probe-" + s
+		pl.windowLabel[p.ID] = "window-" + s
+		pl.respBase[p.ID] = pl.availFast.Derive("probe", uint64(p.ID))
+		pl.windBase[p.ID] = pl.availFast.Derive("window", uint64(p.ID))
+	})
 }
 
 func firmwareDraw(g *rng.Rand, currentProb float64) int {
@@ -244,6 +440,13 @@ func firmwareDraw(g *rng.Rand, currentProb float64) int {
 		return CurrentFirmware
 	}
 	return CurrentFirmware - g.IntBetween(1, 3)*10
+}
+
+func firmwareDrawStream(s *rng.Stream, currentProb float64) int {
+	if s.Bool(currentProb) {
+		return CurrentFirmware
+	}
+	return CurrentFirmware - s.IntBetween(1, 3)*10
 }
 
 func (pl *Platform) add(p *Probe) {
@@ -311,4 +514,35 @@ func (pl *Platform) Responsive(id ProbeID, round int) bool {
 // limits the paper's campaign to ~84% responsive destinations.
 func (pl *Platform) WindowUp(id ProbeID, round int) bool {
 	return !pl.avail.BoolSplitN(pl.availLabel(pl.windowLabel, "window-%d", id), round, pl.WindowOutageProb)
+}
+
+// ResponsiveFast is the scale-tier selection-time availability coin: a
+// pure function of (platform seed, probe, round) like Responsive, drawn
+// from the value-type fast-coin family instead of BoolSplitN's pooled
+// generator (whose per-coin reseed rebuilds a ~5KB lagged-Fibonacci
+// table — microseconds per coin, seconds per million-endpoint round).
+// The fast family is NOT draw-compatible with Responsive; campaigns
+// switch whole-config (measure.Config.FastAvailability) and pin their
+// own golden digests.
+func (pl *Platform) ResponsiveFast(id ProbeID, round int) bool {
+	s := pl.fastBase(pl.respBase, "probe", id).At(uint64(round))
+	return !s.Bool(pl.OfflineProb)
+}
+
+// WindowUpFast is the scale-tier mid-window outage coin; see
+// ResponsiveFast.
+func (pl *Platform) WindowUpFast(id ProbeID, round int) bool {
+	s := pl.fastBase(pl.windBase, "window", id).At(uint64(round))
+	return !s.Bool(pl.WindowOutageProb)
+}
+
+// fastBase returns the probe's precomputed fast-coin base stream, or
+// derives one on the fly for IDs outside the generated fleet
+// (hand-built tests) — the derivation is exactly what finalize stored,
+// so the memo cannot shift a draw.
+func (pl *Platform) fastBase(bases []rng.Stream, label string, id ProbeID) rng.Stream {
+	if i := int(id); i >= 0 && i < len(bases) && i < len(pl.probeLabel) && pl.probeLabel[i] != "" {
+		return bases[i]
+	}
+	return pl.availFast.Derive(label, uint64(id))
 }

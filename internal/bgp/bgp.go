@@ -68,6 +68,17 @@ type Router struct {
 
 	scratch  sync.Pool    // *computeScratch, reused across compute calls
 	computed atomic.Int64 // trees actually computed (not served from cache)
+
+	// linkIdx/exits memoize hot-potato exit cities per (link, fromCity):
+	// the nearest-candidate scan is a pure function of the immutable
+	// topology, and path expansion at the scale tiers re-resolves the
+	// same crossings millions of times per round. Slots hold city+1 (0 =
+	// unset) and are filled lazily with atomic loads/stores — racing
+	// writers store the same deterministic value. Links added to the
+	// topology after router construction (hand-built tests) miss linkIdx
+	// and fall back to the direct scan.
+	linkIdx map[*topology.Link]int32
+	exits   []int32
 }
 
 // treeCall is one in-flight tree computation; waiters block on done and
@@ -96,6 +107,11 @@ func New(topo *topology.Topology) *Router {
 		r.index[a.ASN] = int32(i)
 		r.asns = append(r.asns, a.ASN)
 	}
+	r.linkIdx = make(map[*topology.Link]int32, len(topo.Links))
+	for i, l := range topo.Links {
+		r.linkIdx[l] = int32(i)
+	}
+	r.exits = make([]int32, len(topo.Links)*len(topo.Cities))
 	return r
 }
 
@@ -396,12 +412,19 @@ func better(a topology.ASN, incumbent int32, asns []topology.ASN) bool {
 // ASPath returns the AS-level path from src to dst, inclusive of both.
 // For src == dst the path is the single AS.
 func (r *Router) ASPath(src, dst topology.ASN) ([]topology.ASN, error) {
+	return r.asPathInto(nil, src, dst)
+}
+
+// asPathInto appends the AS path into buf (reset to length zero),
+// returning the grown slice: the allocation-free core of ASPath.
+func (r *Router) asPathInto(buf []topology.ASN, src, dst topology.ASN) ([]topology.ASN, error) {
 	si, ok := r.index[src]
 	if !ok {
 		return nil, fmt.Errorf("bgp: unknown source AS %d", src)
 	}
+	buf = append(buf[:0], src)
 	if src == dst {
-		return []topology.ASN{src}, nil
+		return buf, nil
 	}
 	tr, err := r.treeFor(dst)
 	if err != nil {
@@ -410,19 +433,18 @@ func (r *Router) ASPath(src, dst topology.ASN) ([]topology.ASN, error) {
 	if tr.class[si] == NoRoute {
 		return nil, fmt.Errorf("bgp: no route from AS %d to AS %d", src, dst)
 	}
-	path := []topology.ASN{src}
 	cur := si
 	for r.asns[cur] != dst {
 		cur = tr.next[cur]
 		if cur < 0 {
 			return nil, fmt.Errorf("bgp: broken tree from AS %d to AS %d", src, dst)
 		}
-		path = append(path, r.asns[cur])
-		if len(path) > len(r.asns) {
+		buf = append(buf, r.asns[cur])
+		if len(buf) > len(r.asns) {
 			return nil, fmt.Errorf("bgp: path loop from AS %d to AS %d", src, dst)
 		}
 	}
-	return path, nil
+	return buf, nil
 }
 
 // RouteInfo describes how src reaches dst.

@@ -2,6 +2,7 @@ package bgp
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"shortcuts/internal/geo"
 	"shortcuts/internal/topology"
@@ -36,37 +37,66 @@ func (p *PopPath) CityHops() int { return len(p.Cities) - 1 }
 // paths inflate exactly here: when adjacent providers interconnect only at
 // remote hubs, traffic between nearby countries detours through them.
 func (r *Router) Expand(srcAS topology.ASN, srcCity int, dstAS topology.ASN, dstCity int) (*PopPath, error) {
-	if srcCity < 0 || srcCity >= len(r.topo.Cities) {
-		return nil, fmt.Errorf("bgp: source city %d out of range", srcCity)
-	}
-	if dstCity < 0 || dstCity >= len(r.topo.Cities) {
-		return nil, fmt.Errorf("bgp: destination city %d out of range", dstCity)
-	}
-	asPath, err := r.ASPath(srcAS, dstAS)
-	if err != nil {
+	p := &PopPath{}
+	if err := r.ExpandInto(p, srcAS, srcCity, dstAS, dstCity); err != nil {
 		return nil, err
 	}
-	cities := []int{srcCity}
+	return p, nil
+}
+
+// ExpandInto is Expand writing into a caller-owned PopPath, reusing its
+// ASPath and Cities capacity: the allocation-free variant one-shot path
+// pricing loops over. On error the PopPath contents are undefined.
+func (r *Router) ExpandInto(p *PopPath, srcAS topology.ASN, srcCity int, dstAS topology.ASN, dstCity int) error {
+	if srcCity < 0 || srcCity >= len(r.topo.Cities) {
+		return fmt.Errorf("bgp: source city %d out of range", srcCity)
+	}
+	if dstCity < 0 || dstCity >= len(r.topo.Cities) {
+		return fmt.Errorf("bgp: destination city %d out of range", dstCity)
+	}
+	asPath, err := r.asPathInto(p.ASPath, srcAS, dstAS)
+	if err != nil {
+		return err
+	}
+	p.ASPath = asPath
+	p.Cities = append(p.Cities[:0], srcCity)
 	cur := srcCity
 	for i := 0; i+1 < len(asPath); i++ {
 		link := r.topo.LinkBetween(asPath[i], asPath[i+1])
 		if link == nil {
-			return nil, fmt.Errorf("bgp: missing link %d-%d on computed path", asPath[i], asPath[i+1])
+			return fmt.Errorf("bgp: missing link %d-%d on computed path", asPath[i], asPath[i+1])
 		}
-		exit := r.nearestCity(link.Cities, cur)
+		exit := r.exitCity(link, cur)
 		if exit != cur {
-			cities = append(cities, exit)
+			p.Cities = append(p.Cities, exit)
 			cur = exit
 		}
 	}
 	if cur != dstCity {
-		cities = append(cities, dstCity)
+		p.Cities = append(p.Cities, dstCity)
 	}
-	p := &PopPath{ASPath: asPath, Cities: cities}
-	for i := 1; i < len(cities); i++ {
-		p.DistanceKm += geo.Distance(r.topo.CityLoc(cities[i-1]), r.topo.CityLoc(cities[i]))
+	p.DistanceKm = 0
+	for i := 1; i < len(p.Cities); i++ {
+		p.DistanceKm += geo.Distance(r.topo.CityLoc(p.Cities[i-1]), r.topo.CityLoc(p.Cities[i]))
 	}
-	return p, nil
+	return nil
+}
+
+// exitCity returns the link's hot-potato exit for traffic currently at
+// from, memoised per (link, fromCity): the scan is a pure function of
+// the immutable topology, so racing fills store identical values.
+func (r *Router) exitCity(link *topology.Link, from int) int {
+	li, ok := r.linkIdx[link]
+	if !ok || len(link.Cities) == 1 {
+		return r.nearestCity(link.Cities, from)
+	}
+	slot := &r.exits[int(li)*len(r.topo.Cities)+from]
+	if v := atomic.LoadInt32(slot); v != 0 {
+		return int(v - 1)
+	}
+	c := r.nearestCity(link.Cities, from)
+	atomic.StoreInt32(slot, int32(c+1))
+	return c
 }
 
 // nearestCity returns the candidate city nearest to from; candidates is

@@ -37,7 +37,10 @@ type Selector struct {
 	// eligible probes there.
 	byCountry map[string][]topology.ASN
 	countries []string
-	platform  *atlas.Platform
+	// ases is the deduplicated sorted union of byCountry, precomputed so
+	// every-round callers (campaign destination sets) don't rebuild it.
+	ases     []topology.ASN
+	platform *atlas.Platform
 }
 
 // New builds a selector from the APNIC dataset and the probe platform
@@ -68,10 +71,18 @@ func New(ds *apnic.Dataset, platform *atlas.Platform, cutoff float64) *Selector 
 		}
 	}
 	sort.Strings(s.countries)
+	seenAS := make(map[topology.ASN]bool)
 	for cc := range s.byCountry {
 		asns := s.byCountry[cc]
 		sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+		for _, a := range asns {
+			if !seenAS[a] {
+				seenAS[a] = true
+				s.ases = append(s.ases, a)
+			}
+		}
 	}
+	sort.Slice(s.ases, func(i, j int) bool { return s.ases[i] < s.ases[j] })
 	return s
 }
 
@@ -105,21 +116,14 @@ func (s *Selector) VerifiedASCount() int {
 
 // ASes returns the deduplicated, sorted set of verified eyeball ASes
 // with eligible probes — the ASes campaign endpoints can be sampled
-// from, and therefore the destinations every round routes toward.
-func (s *Selector) ASes() []topology.ASN {
-	seen := make(map[topology.ASN]bool)
-	var out []topology.ASN
-	for _, asns := range s.byCountry {
-		for _, a := range asns {
-			if !seen[a] {
-				seen[a] = true
-				out = append(out, a)
-			}
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+// from, and therefore the destinations every round routes toward. The
+// slice is precomputed at construction; callers must not mutate it.
+func (s *Selector) ASes() []topology.ASN { return s.ases }
+
+// ASNsIn returns the verified eyeball ASes with eligible probes in the
+// country, sorted ascending — the exact per-country AS walk order
+// SampleEndpointsInto permutes. Callers must not mutate the slice.
+func (s *Selector) ASNsIn(cc string) []topology.ASN { return s.byCountry[cc] }
 
 // SampleEndpoints draws the round's RAE set: for each country, one
 // uniformly random verified AS, then one uniformly random eligible probe

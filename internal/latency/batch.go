@@ -1,0 +1,132 @@
+package latency
+
+import "sync/atomic"
+
+// EndpointPair is one (source, destination) pair handed to ResolveBatch.
+type EndpointPair struct {
+	A, B Endpoint
+}
+
+// PairHandle is a batch-resolved pair, ready for train pricing without
+// any further cache traffic: the interior state pointer (valid forever —
+// cache entries are immutable and never move), the pair's FNV draw
+// identity, the direction-resolved asymmetry, and the overlay effect.
+type PairHandle struct {
+	st   *pathState
+	hp   uint64
+	asym float64
+	eff  Effect
+}
+
+// resolveBatchChunk bounds how many lookups ResolveBatch keeps in
+// flight at once. Large enough that the out-of-order core always has
+// several independent cache-line misses to overlap, small enough that
+// the per-chunk scratch stays on the stack.
+const resolveBatchChunk = 16
+
+// ResolveBatch resolves out[i] for pairs[i], len(out) must equal
+// len(pairs). It prices exactly what per-pair resolution would price —
+// same cached states, same draw identities — but restructures the
+// lookups to run memory-parallel: a warm get is two dependent DRAM
+// misses (hash lane, then wide lane) against tables far larger than
+// LLC, and resolving pairs one at a time serializes those misses behind
+// each train's pricing work. Here a chunk of 16 pairs first hashes and
+// probes all 16 hash lanes — independent loads the core overlaps — then
+// touches the 16 wide lanes likewise, so the per-pair memory stall
+// approaches latency/chunk instead of 2×latency. Pairs that miss the
+// cache (only cold rounds have any) fall back to the ordinary locked
+// admission path, one at a time.
+func (v View) ResolveBatch(pairs []EndpointPair, out []PairHandle) error {
+	e := v.e
+	for base := 0; base < len(pairs); base += resolveBatchChunk {
+		n := len(pairs) - base
+		if n > resolveBatchChunk {
+			n = resolveBatchChunk
+		}
+		var (
+			keys [resolveBatchChunk]pairKey
+			hs   [resolveBatchChunk]uint64
+			tabs [resolveBatchChunk]*pairTable
+			idxs [resolveBatchChunk]int64
+		)
+		// Pass 1: hash every pair and probe its hash lane to the first
+		// hash match (or the chain's end). The loop body is short ALU
+		// work ahead of one independent miss per pair, which is what
+		// lets the misses overlap.
+		for j := 0; j < n; j++ {
+			p := &pairs[base+j]
+			key := canonicalKey(p.A, p.B)
+			keys[j] = key
+			h := tableHash(key)
+			hs[j] = h
+			idxs[j] = -1
+			t := e.shards[e.shardOf(h)].tab.Load()
+			tabs[j] = t
+			if t == nil {
+				continue
+			}
+			mask := uint64(len(t.hashes) - 1)
+			for i := h & mask; ; i = (i + 1) & mask {
+				hh := atomic.LoadUint64(&t.hashes[i])
+				if hh == 0 {
+					break
+				}
+				if hh == h {
+					idxs[j] = int64(i)
+					break
+				}
+			}
+		}
+		// Pass 2: confirm keys against the wide lanes — the second
+		// round of independent misses. A hash match with the wrong key
+		// (a 64-bit collision; effectively never) is demoted to the
+		// slow path, which re-probes the whole chain itself.
+		for j := 0; j < n; j++ {
+			i := idxs[j]
+			if i < 0 {
+				continue
+			}
+			kv := &tabs[j].kv[i]
+			if !keyEq(&kv.key, &keys[j]) {
+				idxs[j] = -1
+			}
+		}
+		// Pass 3: fill handles; misses take the ordinary admission path.
+		for j := 0; j < n; j++ {
+			var st *pathState
+			if i := idxs[j]; i >= 0 {
+				st = &tabs[j].kv[i].st
+			} else {
+				var err error
+				st, err = e.stateByHash(hs[j], keys[j])
+				if err != nil {
+					return err
+				}
+			}
+			p := &pairs[base+j]
+			h := &out[base+j]
+			h.st = st
+			h.hp = hashPair(keys[j])
+			h.asym = st.fwdAsym
+			if p.A.Key() != keys[j].lo {
+				h.asym = st.revAsym
+			}
+			h.eff = NeutralEffect()
+			if v.ov != nil {
+				h.eff = v.ov.PairEffect(p.A.City, p.B.City)
+			}
+		}
+	}
+	return nil
+}
+
+// PingTrainSchedHandle prices one train for a batch-resolved pair on a
+// pre-decomposed slot schedule (see PingTrainSched) — bit-identical to
+// the per-pair entry points, with pair resolution already paid by
+// ResolveBatch.
+func (v View) PingTrainSchedHandle(h *PairHandle, round int, hourFrac []float64, out []PingSample) {
+	for slot := range out {
+		rtt, ok := v.e.pingSlot(h.st, h.hp, h.asym, round, slot, hourFrac[slot], h.eff)
+		out[slot] = PingSample{RTT: rtt, OK: ok}
+	}
+}

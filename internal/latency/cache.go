@@ -1,5 +1,55 @@
 package latency
 
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// cacheShard is one stripe of the path-state cache. Reads are lock-free:
+// the shard publishes its table through an atomic pointer, and the table
+// publishes each entry by release-storing its hash word after the wide
+// lane is written, so an acquire-load of a nonzero hash guarantees the
+// key and state behind it are fully visible. Writers (inserts and
+// growth) serialize on the mutex; entries are never overwritten or
+// deleted, and growth swaps in a freshly built table rather than
+// mutating the published one, so readers holding a stale table pointer
+// still see every entry that existed when they loaded it — at worst
+// they miss a newer insert and fall back to the locked recheck path.
+//
+// Locklessness here is not about contention (shards are plentiful): a
+// warm scale-tier round performs millions of reads whose RWMutex
+// acquire/release atomics were pure overhead, and — more importantly —
+// it lets batched lookups (ResolveBatch) touch many shards' slots in
+// flight at once without juggling lock ordering.
+type cacheShard struct {
+	mu  sync.Mutex
+	tab atomic.Pointer[pairTable]
+	_   [48]byte // pad to a cache line: neighbouring shards must not false-share
+}
+
+// lookup is the lock-free read path: nil if the pair is not cached.
+func (s *cacheShard) lookup(h uint64, key pairKey) *pathState {
+	t := s.tab.Load()
+	if t == nil {
+		return nil
+	}
+	return t.get(h, key)
+}
+
+// insertLocked stores (key, st) and returns the interior pointer. The
+// caller must hold s.mu and must have re-checked, under that lock, that
+// the key is absent. Growth builds the doubled table off to the side
+// and publishes it before the new entry goes in, so readers never
+// observe a half-rehashed table.
+func (s *cacheShard) insertLocked(h uint64, key pairKey, st pathState) *pathState {
+	t := s.tab.Load()
+	if t == nil || pairTableMaxLoadDen*(t.n+1) > pairTableMaxLoadNum*len(t.hashes) {
+		t = t.grown()
+		s.tab.Store(t)
+	}
+	return t.putSlot(h, key, st)
+}
+
 // pairTable is an open-addressed hash table mapping pairKey to an inline
 // pathState value — the storage behind each cache shard. Compared with
 // the previous map[pairKey]*pathState it removes one heap object and one
@@ -7,24 +57,26 @@ package latency
 // pointers at all, a sweep caching hundreds of thousands of pairs adds
 // zero GC scan work.
 //
-// Concurrency contract (enforced by the shard's RWMutex, not here): all
-// mutation happens under the shard's write lock, lookups under at least
-// the read lock. Entries are never overwritten or deleted once inserted,
-// and growth allocates a fresh slab rather than moving the old one, so a
-// *pathState returned by get/put stays valid — pointing into immutable
-// memory — after the lock is released, even across later growth.
+// The layout is split (struct-of-arrays): an 8-byte hash lane per slot,
+// and a parallel key+value lane touched only on a hash match. Probing is
+// memory-bound at scale — a warm 100k-endpoint round performs ~1.4M gets
+// against a table far larger than LLC, where every probed line is a DRAM
+// miss — and linear probing's displacement tail is heavy (mean ~2.5
+// slots here, a few percent of lookups past 8). With interleaved 96-byte
+// entries that tail drags whole key+state lines through the cache per
+// probe; with the split lanes a probe chain scans 8 slots per line and a
+// get touches the wide lane exactly once.
 type pairTable struct {
-	entries []pairEntry // len is the capacity, always a power of two
-	n       int         // occupied slots
+	hashes []uint64 // len is the capacity, always a power of two; 0 = empty
+	kv     []pairKV // parallel wide lane: key + state of each occupied slot
+	n      int      // occupied slots; written under the shard mutex only
 }
 
-// pairEntry is one slot: the normalized pair hash (0 marks an empty
-// slot), the full key for collision resolution, and the state value
-// stored inline.
-type pairEntry struct {
-	hash uint64
-	key  pairKey
-	st   pathState
+// pairKV is the wide lane of one slot: the full key for collision
+// resolution and the state value stored inline.
+type pairKV struct {
+	key pairKey
+	st  pathState
 }
 
 // pairTableMinCap is the capacity of a shard's first slab. Small, so an
@@ -49,61 +101,108 @@ func normPairHash(h uint64) uint64 {
 	return h
 }
 
+// tableHash is the cache's own pair hash — deliberately NOT hashPair.
+// The FNV fold that names a pair's draw streams walks 40 bytes through
+// a serial multiply chain; fine once per train, but on the cache read
+// path it is the critical-path head of every lookup, and its ~150 µops
+// fill the out-of-order window so consecutive gets cannot overlap their
+// DRAM misses (measured: a warm get costs the same with locks and call
+// depth removed — the probe loads never parallelise behind the fold).
+// Six independent multiplies plus a murmur-style finalizer hash the
+// same identity in ~20 cycles of latency. The cache hash names nothing
+// outside the table (draw identities still come from hashPair), so
+// changing it is pure layout.
+func tableHash(key pairKey) uint64 {
+	x := uint64(key.lo.AS)*0x9e3779b97f4a7c15 ^
+		uint64(key.lo.City)*0xbf58476d1ce4e5b9 ^
+		uint64(key.lo.Access)*0x94d049bb133111eb ^
+		uint64(key.hi.AS)*0x2545f4914f6cdd1d ^
+		uint64(key.hi.City)*0xff51afd7ed558ccd ^
+		uint64(key.hi.Access)*0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return normPairHash(x)
+}
+
+// keyEq reports a == b, compiled branchless: the probe loop compares the
+// 48-byte key on a hash match, where the generic struct comparison
+// lowers to a runtime memequal call — avoidable overhead at millions of
+// warm gets per round.
+func keyEq(a, b *pairKey) bool {
+	return (uint64(a.lo.AS^b.lo.AS) | uint64(a.lo.City^b.lo.City) | uint64(a.lo.Access^b.lo.Access) |
+		uint64(a.hi.AS^b.hi.AS) | uint64(a.hi.City^b.hi.City) | uint64(a.hi.Access^b.hi.Access)) == 0
+}
+
 // get returns the cached state for key, or nil. h must be normalized.
+// Safe without any lock: hash words are acquire-loaded, and a nonzero
+// hash happens-after the release-store that published its wide lane.
 func (t *pairTable) get(h uint64, key pairKey) *pathState {
-	if len(t.entries) == 0 {
-		return nil
-	}
-	mask := uint64(len(t.entries) - 1)
+	mask := uint64(len(t.hashes) - 1)
 	for i := h & mask; ; i = (i + 1) & mask {
-		e := &t.entries[i]
-		if e.hash == 0 {
+		hh := atomic.LoadUint64(&t.hashes[i])
+		if hh == 0 {
 			return nil
 		}
-		if e.hash == h && e.key == key {
-			return &e.st
+		if hh == h {
+			e := &t.kv[i]
+			if keyEq(&e.key, &key) {
+				return &e.st
+			}
 		}
 	}
 }
 
-// put inserts (key, st) — the key must not already be present — and
-// returns a pointer to the stored value. h must be normalized.
-func (t *pairTable) put(h uint64, key pairKey, st pathState) *pathState {
-	if pairTableMaxLoadDen*(t.n+1) > pairTableMaxLoadNum*len(t.entries) {
-		t.grow()
-	}
-	mask := uint64(len(t.entries) - 1)
+// putSlot inserts (key, st) — the key must not already be present, the
+// caller must hold the owning shard's mutex, and capacity must have
+// been ensured (insertLocked does all three). The wide lane is written
+// first; the release-store of the hash word is what makes the entry
+// visible to lock-free readers.
+func (t *pairTable) putSlot(h uint64, key pairKey, st pathState) *pathState {
+	mask := uint64(len(t.hashes) - 1)
 	i := h & mask
-	for t.entries[i].hash != 0 {
+	for t.hashes[i] != 0 {
 		i = (i + 1) & mask
 	}
-	e := &t.entries[i]
-	e.hash, e.key, e.st = h, key, st
+	e := &t.kv[i]
+	e.key, e.st = key, st
+	atomic.StoreUint64(&t.hashes[i], h)
 	t.n++
 	return &e.st
 }
 
-// grow doubles the capacity (or allocates the first slab) and reinserts
-// every entry by its stored hash. The old slab is left untouched:
-// pointers into it handed out before the growth remain valid.
-func (t *pairTable) grow() {
+// grown returns a new table of double capacity (or the first minimum
+// slab for a nil receiver) holding every entry of t. The receiver is
+// left untouched — readers still holding it keep a consistent, merely
+// stale, view — and interior *pathState pointers handed out from it
+// remain valid forever.
+func (t *pairTable) grown() *pairTable {
 	newCap := pairTableMinCap
-	if len(t.entries) > 0 {
-		newCap = 2 * len(t.entries)
+	if t != nil && len(t.hashes) > 0 {
+		newCap = 2 * len(t.hashes)
 	}
-	old := t.entries
-	t.entries = make([]pairEntry, newCap)
+	nt := &pairTable{
+		hashes: make([]uint64, newCap),
+		kv:     make([]pairKV, newCap),
+	}
+	if t == nil {
+		return nt
+	}
 	mask := uint64(newCap - 1)
-	for i := range old {
-		if old[i].hash == 0 {
+	for i := range t.hashes {
+		h := t.hashes[i]
+		if h == 0 {
 			continue
 		}
-		j := old[i].hash & mask
-		for t.entries[j].hash != 0 {
+		j := h & mask
+		for nt.hashes[j] != 0 {
 			j = (j + 1) & mask
 		}
-		t.entries[j] = old[i]
+		nt.hashes[j] = h
+		nt.kv[j] = t.kv[i]
 	}
+	nt.n = t.n
+	return nt
 }
 
 // CacheShardStats describes one path-state cache shard: its occupancy,
@@ -131,9 +230,11 @@ func (e *Engine) CacheStats() []CacheShardStats {
 	out := make([]CacheShardStats, len(e.shards))
 	for i := range e.shards {
 		s := &e.shards[i]
-		s.mu.RLock()
-		out[i] = CacheShardStats{Entries: s.tab.n, Capacity: len(s.tab.entries)}
-		s.mu.RUnlock()
+		s.mu.Lock()
+		if t := s.tab.Load(); t != nil {
+			out[i] = CacheShardStats{Entries: t.n, Capacity: len(t.hashes)}
+		}
+		s.mu.Unlock()
 	}
 	return out
 }

@@ -18,28 +18,29 @@ func synthKey(i int) pairKey {
 // and verifies every key still resolves to its own state afterwards —
 // the regression guard for the open-addressed rehash path.
 func TestPairTableGrowth(t *testing.T) {
-	var tab pairTable
+	var shard cacheShard
 	const n = 50 * pairTableMinCap
 	for i := 0; i < n; i++ {
 		key := synthKey(i)
 		h := normPairHash(hashPair(key))
-		if got := tab.get(h, key); got != nil {
+		if got := shard.lookup(h, key); got != nil {
 			t.Fatalf("key %d present before insert", i)
 		}
-		st := tab.put(h, key, pathState{static: float64(i), midLon: float64(i % 360)})
+		st := shard.insertLocked(h, key, pathState{static: float64(i), midLon: float64(i % 360)})
 		if st == nil || st.static != float64(i) {
-			t.Fatalf("put %d returned wrong state: %+v", i, st)
+			t.Fatalf("insert %d returned wrong state: %+v", i, st)
 		}
 	}
+	tab := shard.tab.Load()
 	if tab.n != n {
 		t.Fatalf("occupancy = %d, want %d", tab.n, n)
 	}
-	if load := float64(tab.n) / float64(len(tab.entries)); load > 0.75 {
+	if load := float64(tab.n) / float64(len(tab.hashes)); load > 0.75 {
 		t.Fatalf("load factor %.3f exceeds growth threshold", load)
 	}
 	for i := 0; i < n; i++ {
 		key := synthKey(i)
-		st := tab.get(normPairHash(hashPair(key)), key)
+		st := shard.lookup(normPairHash(hashPair(key)), key)
 		if st == nil {
 			t.Fatalf("key %d lost after growth", i)
 		}
@@ -53,15 +54,15 @@ func TestPairTableGrowth(t *testing.T) {
 // relies on: a *pathState returned before growth still reads the same
 // immutable values after the table has rehashed several times.
 func TestPairTablePointerStability(t *testing.T) {
-	var tab pairTable
+	var shard cacheShard
 	early := make([]*pathState, 16)
 	for i := range early {
 		key := synthKey(i)
-		early[i] = tab.put(normPairHash(hashPair(key)), key, pathState{static: float64(1000 + i)})
+		early[i] = shard.insertLocked(normPairHash(hashPair(key)), key, pathState{static: float64(1000 + i)})
 	}
 	for i := 16; i < 20*pairTableMinCap; i++ {
 		key := synthKey(i)
-		tab.put(normPairHash(hashPair(key)), key, pathState{static: float64(1000 + i)})
+		shard.insertLocked(normPairHash(hashPair(key)), key, pathState{static: float64(1000 + i)})
 	}
 	for i, st := range early {
 		if st.static != float64(1000+i) {

@@ -25,7 +25,6 @@ package latency
 
 import (
 	"math"
-	"sync"
 	"time"
 
 	"shortcuts/internal/bgp"
@@ -52,16 +51,14 @@ type Engine struct {
 
 	shards []cacheShard
 	mask   uint64
-}
 
-// cacheShard is one lock-striped slice of the path-state cache: an
-// open-addressed table of inline pathState values (see pairTable in
-// cache.go). Padding to a full 64-byte cache line keeps neighbouring
-// shards from false sharing under write-heavy warmup.
-type cacheShard struct {
-	mu  sync.RWMutex // 24 bytes
-	tab pairTable    // 32 bytes
-	_   [8]byte
+	// Frozen Derive prefixes of the three per-identity draw families
+	// (rng.Prefix): the hot paths derive millions of streams per round
+	// under these fixed labels, so the (state, label) fold is paid once
+	// here instead of per derivation. pingPre.At(h) == base.Derive("ping", h).
+	pingPre     rng.Prefix
+	pathPre     rng.Prefix
+	endpointPre rng.Prefix
 }
 
 // pairKey is the canonical (unordered) identity of an endpoint pair.
@@ -115,14 +112,28 @@ func New(router *bgp.Router, p Params, root *rng.Rand) *Engine {
 	n = ceilPow2(n)
 	// Shard tables start empty and allocate their first slab on first
 	// insert, so a high shard count costs nothing until pairs are cached.
+	base := root.Stream("latency")
 	return &Engine{
-		router: router,
-		p:      p,
-		base:   root.Stream("latency"),
-		shards: make([]cacheShard, n),
-		mask:   uint64(n - 1),
+		router:      router,
+		p:           p,
+		base:        base,
+		shards:      make([]cacheShard, n),
+		mask:        uint64(n - 1),
+		pingPre:     base.Prefix("ping"),
+		pathPre:     base.Prefix("path"),
+		endpointPre: base.Prefix("endpoint"),
 	}
 }
+
+// shardOf maps a normalized pair hash to its cache shard. The shard
+// index must come from hash bits the shard's pairTable does not probe
+// by: the table's slot index is h & (cap-1) — the LOW bits — so taking
+// the shard from the low bits too would leave every hash in a shard
+// congruent mod the shard count. Only one slot in shardCount is then a
+// home slot, entries collapse onto long linear runs, and a warm get
+// scans dozens of slots instead of one or two. Bits 32.. are free of
+// the slot index for any table under 2^32 entries per shard.
+func (e *Engine) shardOf(h uint64) uint64 { return (h >> 32) & e.mask }
 
 // ceilPow2 rounds n up to the next power of two.
 func ceilPow2(n int) int {
@@ -141,19 +152,23 @@ func (e *Engine) NumShards() int { return len(e.shards) }
 
 // state returns (computing if needed) the deterministic path state.
 func (e *Engine) state(a, b Endpoint) (*pathState, error) {
-	key := canonicalKey(a, b)
-	return e.stateByKey(key, hashPair(key))
+	return e.stateByKey(canonicalKey(a, b))
 }
 
-// stateByKey is the cache lookup given a precomputed pair hash; the ping
-// path reuses the hash it already needs for the per-ping RNG stream.
-func (e *Engine) stateByKey(key pairKey, h uint64) (*pathState, error) {
-	h = normPairHash(h)
-	s := &e.shards[h&e.mask]
-	s.mu.RLock()
-	st := s.tab.get(h, key)
-	s.mu.RUnlock()
-	if st != nil {
+// stateByKey is the cache lookup. It hashes with the cheap tableHash —
+// not the pair's FNV draw identity — so the read path's critical chain
+// is a few multiplies ahead of the probe loads (see tableHash).
+func (e *Engine) stateByKey(key pairKey) (*pathState, error) {
+	return e.stateByHash(tableHash(key), key)
+}
+
+// stateByHash is stateByKey with the table hash already in hand (the
+// batched resolver computes it during its prefetch pass). The fast path
+// is a single lock-free shard lookup; only a miss takes the shard
+// mutex, and then solely to admit the freshly computed state.
+func (e *Engine) stateByHash(h uint64, key pairKey) (*pathState, error) {
+	s := &e.shards[e.shardOf(h)]
+	if st := s.lookup(h, key); st != nil {
 		return st, nil
 	}
 	computed, err := e.computeState(key)
@@ -161,23 +176,33 @@ func (e *Engine) stateByKey(key pairKey, h uint64) (*pathState, error) {
 		return nil, err
 	}
 	s.mu.Lock()
-	if st = s.tab.get(h, key); st == nil {
-		st = s.tab.put(h, key, computed)
+	st := s.lookup(h, key)
+	if st == nil {
+		st = s.insertLocked(h, key, computed)
 	} // else a racing worker won; keep its slot
 	s.mu.Unlock()
 	return st, nil
 }
 
 func (e *Engine) computeState(key pairKey) (pathState, error) {
+	var ps PathScratch
+	return e.computeStateInto(key, &ps)
+}
+
+// computeStateInto is computeState expanding the pair's paths into the
+// caller's scratch buffers, so repeated fresh-pair pricing (the one-shot
+// fast path) reuses two PopPaths instead of allocating two per pair.
+// The produced state is a pure function of the pair identity — exactly
+// what computeState returns.
+func (e *Engine) computeStateInto(key pairKey, ps *PathScratch) (pathState, error) {
 	lo, hi := key.lo, key.hi
-	fwd, err := e.router.Expand(lo.AS, lo.City, hi.AS, hi.City)
-	if err != nil {
+	if err := e.router.ExpandInto(&ps.fwd, lo.AS, lo.City, hi.AS, hi.City); err != nil {
 		return pathState{}, err
 	}
-	rev, err := e.router.Expand(hi.AS, hi.City, lo.AS, lo.City)
-	if err != nil {
+	if err := e.router.ExpandInto(&ps.rev, hi.AS, hi.City, lo.AS, lo.City); err != nil {
 		return pathState{}, err
 	}
+	fwd, rev := &ps.fwd, &ps.rev
 
 	oneway := func(p *bgp.PopPath) time.Duration {
 		prop := geo.PropDelay(p.DistanceKm * e.p.RouteDirectness)
@@ -195,7 +220,7 @@ func (e *Engine) computeState(key pairKey) (pathState, error) {
 	access := 2 * (scaleDuration(lo.Access, e.accessFactor(lo)) +
 		scaleDuration(hi.Access, e.accessFactor(hi)))
 
-	g := e.base.Derive("path", hashNetPath(key))
+	g := e.pathPre.At(hashNetPath(key))
 	congestion := e.p.CongestionMedian * g.LogNormal(0, e.p.CoreCongestionSigma)
 	if g.Bool(e.p.BadPathProb) {
 		congestion *= g.Uniform(e.p.BadPathMin, e.p.BadPathMax)
@@ -222,7 +247,7 @@ func scaleDuration(d time.Duration, f float64) time.Duration {
 // a congested DSL line is consistently congested across every path it
 // terminates or relays.
 func (e *Engine) accessFactor(k EndpointKey) float64 {
-	g := e.base.Derive("endpoint", hashEndpointKey(rng.FNVOffset64, k, true))
+	g := e.endpointPre.At(hashEndpointKey(rng.FNVOffset64, k, true))
 	return g.LogNormal(0, e.p.AccessCongestionSigma)
 }
 
@@ -265,12 +290,40 @@ func (e *Engine) BaseRTT(a, b Endpoint) (time.Duration, error) {
 // diurnalFactor returns the load factor at time t for a path whose
 // midpoint is at longitude midLon: a sinusoid peaking at 21:00 local.
 func diurnalFactor(t time.Time, amp, midLon float64) float64 {
+	return diurnalFactorHour(hourFracOf(t), amp, midLon)
+}
+
+// hourFracOf is the UTC hour-of-day fraction of t — the pair-invariant
+// part of the diurnal phase. Train loops price every pair of a round at
+// the same slot times, so callers hoist this decomposition per slot
+// (SlotHourFracs) instead of re-deriving it per ping.
+func hourFracOf(t time.Time) float64 {
+	u := t.UTC()
+	return float64(u.Hour()) + float64(u.Minute())/60
+}
+
+// diurnalFactorHour is diurnalFactor on a pre-decomposed hour fraction.
+// The association (hourFrac first, then + midLon/15) matches the single
+// expression it replaced, so the factor is bit-identical.
+func diurnalFactorHour(hourFrac, amp, midLon float64) float64 {
 	if amp == 0 {
 		return 1
 	}
-	localHour := float64(t.UTC().Hour()) + float64(t.UTC().Minute())/60 + midLon/15
+	localHour := hourFrac + midLon/15
 	phase := (localHour - 21) / 24 * 2 * math.Pi
 	return 1 + amp*(0.5+0.5*math.Cos(phase))
+}
+
+// SlotHourFracs appends the hour fraction (hourFracOf) of each of n ping
+// slots — t0, t0+interval, ... — to buf and returns it. Campaigns price
+// every train of a round on one slot schedule; precomputing the
+// fractions once per round removes the per-ping wall-time decomposition
+// from the scheduled train entry points (PingTrainSched).
+func SlotHourFracs(t0 time.Time, interval time.Duration, n int, buf []float64) []float64 {
+	for slot := 0; slot < n; slot++ {
+		buf = append(buf, hourFracOf(t0.Add(time.Duration(slot)*interval)))
+	}
+	return buf
 }
 
 // pingSlot prices one ping slot against resolved path state: the shared
@@ -281,12 +334,12 @@ func diurnalFactor(t time.Time, amp, midLon float64) float64 {
 // to the pre-overlay pricing: Down skips draws only when set, ExtraLoss
 // consumes a draw only when positive, and multiplying by an RTTFactor
 // of exactly 1.0 is exact in IEEE 754.
-func (e *Engine) pingSlot(st *pathState, hp uint64, asym float64, round, slot int, t time.Time, eff Effect) (time.Duration, bool) {
+func (e *Engine) pingSlot(st *pathState, hp uint64, asym float64, round, slot int, hourFrac float64, eff Effect) (time.Duration, bool) {
 	if eff.Down {
 		return 0, false
 	}
 	h := hp ^ uint64(round)<<32 ^ uint64(slot)<<16
-	g := e.base.Derive("ping", h)
+	g := e.pingPre.At(h)
 
 	if g.Bool(e.p.LossProb) {
 		return 0, false
@@ -295,7 +348,7 @@ func (e *Engine) pingSlot(st *pathState, hp uint64, asym float64, round, slot in
 		return 0, false
 	}
 	rtt := st.static
-	rtt *= diurnalFactor(t, st.diurnalAmp, st.midLon)
+	rtt *= diurnalFactorHour(hourFrac, st.diurnalAmp, st.midLon)
 	rtt *= asym
 	rtt *= g.LogNormal(0, e.p.JitterSigma)
 	if g.Bool(e.p.SpikeProb) {
@@ -317,7 +370,7 @@ func (e *Engine) pingSlot(st *pathState, hp uint64, asym float64, round, slot in
 func (e *Engine) resolvePair(a, b Endpoint) (st *pathState, hp uint64, asym float64, err error) {
 	key := canonicalKey(a, b)
 	hp = hashPair(key)
-	st, err = e.stateByKey(key, hp)
+	st, err = e.stateByKey(key)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -337,7 +390,7 @@ func (e *Engine) Ping(a, b Endpoint, round, slot int, t time.Time) (time.Duratio
 	if err != nil {
 		return 0, false, err
 	}
-	rtt, ok := e.pingSlot(st, hp, asym, round, slot, t, NeutralEffect())
+	rtt, ok := e.pingSlot(st, hp, asym, round, slot, hourFracOf(t), NeutralEffect())
 	return rtt, ok, nil
 }
 
@@ -356,9 +409,11 @@ func (e *Engine) CachedPairs() int {
 	n := 0
 	for i := range e.shards {
 		s := &e.shards[i]
-		s.mu.RLock()
-		n += s.tab.n
-		s.mu.RUnlock()
+		s.mu.Lock()
+		if t := s.tab.Load(); t != nil {
+			n += t.n
+		}
+		s.mu.Unlock()
 	}
 	return n
 }

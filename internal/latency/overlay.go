@@ -62,7 +62,7 @@ func (v View) Ping(a, b Endpoint, round, slot int, t time.Time) (time.Duration, 
 		return 0, false, err
 	}
 	eff := v.ov.PairEffect(a.City, b.City)
-	rtt, ok := v.e.pingSlot(st, hp, asym, round, slot, t, eff)
+	rtt, ok := v.e.pingSlot(st, hp, asym, round, slot, hourFracOf(t), eff)
 	return rtt, ok, nil
 }
 
@@ -84,7 +84,7 @@ func (v View) PingTrain(a, b Endpoint, round int, t0 time.Time, interval time.Du
 	eff := v.ov.PairEffect(a.City, b.City)
 	for slot := range out {
 		at := t0.Add(time.Duration(slot) * interval)
-		rtt, ok := v.e.pingSlot(st, hp, asym, round, slot, at, eff)
+		rtt, ok := v.e.pingSlot(st, hp, asym, round, slot, hourFracOf(at), eff)
 		out[slot] = PingSample{RTT: rtt, OK: ok}
 	}
 	return nil

@@ -29,7 +29,32 @@ func (e *Engine) PingTrain(a, b Endpoint, round int, t0 time.Time, interval time
 	}
 	for slot := range out {
 		at := t0.Add(time.Duration(slot) * interval)
-		rtt, ok := e.pingSlot(st, hp, asym, round, slot, at, NeutralEffect())
+		rtt, ok := e.pingSlot(st, hp, asym, round, slot, hourFracOf(at), NeutralEffect())
+		out[slot] = PingSample{RTT: rtt, OK: ok}
+	}
+	return nil
+}
+
+// PingTrainSched is PingTrain with the slot wall-times pre-decomposed:
+// hourFrac[slot] is slot s's UTC hour-of-day fraction, as produced by
+// SlotHourFracs over the same (t0, interval). Every pair of a campaign
+// round prices against the same slot schedule, so the per-ping time
+// decomposition hoists to once per round; the samples are bit-identical
+// to PingTrain's. len(hourFrac) must cover len(out).
+func (v View) PingTrainSched(a, b Endpoint, round int, hourFrac []float64, out []PingSample) error {
+	if len(out) == 0 {
+		return nil
+	}
+	st, hp, asym, err := v.e.resolvePair(a, b)
+	if err != nil {
+		return err
+	}
+	eff := NeutralEffect()
+	if v.ov != nil {
+		eff = v.ov.PairEffect(a.City, b.City)
+	}
+	for slot := range out {
+		rtt, ok := v.e.pingSlot(st, hp, asym, round, slot, hourFrac[slot], eff)
 		out[slot] = PingSample{RTT: rtt, OK: ok}
 	}
 	return nil

@@ -254,6 +254,10 @@ func BenchmarkMillionEndpointRound(b *testing.B) {
 			cfg.DailyCreditLimit = 0
 			cfg.PairBudget = 4096
 			cfg.EndpointsPerCountry = 1 << 20 // draft every responsive probe
+			// Scale tiers run the fast availability coins: at a million
+			// endpoints the classic per-coin rng.Rand reseed alone costs
+			// tens of seconds per round.
+			cfg.FastAvailability = true
 			c, err := newCampaign(w, cfg)
 			if err != nil {
 				b.Fatal(err)

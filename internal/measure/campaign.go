@@ -227,6 +227,9 @@ type roundSlot struct {
 	improving []ImproveEntry
 	arena     improveArena
 
+	// block is the reused columnar round buffer handed to BlockSinks.
+	block ObsBlock
+
 	// obs buffers the round's stitched observations in pipelined mode,
 	// flushed to the real sink by the emitter in round order. Sequential
 	// rounds emit directly and leave it empty.
@@ -254,9 +257,12 @@ func (b *obsBuffer) RoundDone(RoundInfo) {}
 // (regression-tested by the shrinking-world test).
 type roundScratch struct {
 	exclude     map[atlas.ProbeID]bool
-	probes      []*atlas.Probe // endpoint sample buffer (SampleEndpointsInto)
+	probes      []*atlas.Probe // endpoint sample buffer (draft-less fallback)
 	eps         []int32        // per endpoint: row in the world's columns
+	asPerm      []int          // drafting: per-country AS-group permutation
+	probePerm   []int          // drafting: per-group row permutation
 	roundRelays []int
+	hourFrac    []float64 // per ping slot: UTC hour fraction of the round's schedule
 	windowUp    []bool    // per endpoint: answers through the window
 	relayUp     []bool    // per relay position: alive through the window
 	relayCity   []int32   // per relay position: home city
@@ -365,6 +371,12 @@ func (c *campaign) roundExec(slot *roundSlot, round int, emit Sink, settleInline
 	info := RoundInfo{Round: round, Start: start}
 	scr := &slot.scr
 
+	// Every train of the round pings on the same slot schedule; the
+	// wall-time decomposition the diurnal factor needs is hoisted here —
+	// once per round instead of once per ping.
+	scr.hourFrac = latency.SlotHourFracs(start, c.cfg.PingInterval, c.cfg.PingsPerPair, scr.hourFrac[:0])
+	hourFrac := scr.hourFrac
+
 	// Bind this round's scenario snapshot to the engine view. The
 	// branch avoids wrapping a typed-nil *Snapshot in the Overlay
 	// interface: a nil interface selects the bare-engine fast path for
@@ -376,27 +388,26 @@ func (c *campaign) roundExec(slot *roundSlot, round int, emit Sink, settleInline
 		slot.view = c.w.Engine.View(nil)
 	}
 
-	// Step 1: endpoint selection. The sample lands in the slot's reused
-	// probe buffer and is immediately mapped to column rows; everything
+	// Step 1: endpoint selection, drafted over the world's columnar
+	// (country, AS) row index — draw-for-draw what the selector's probe
+	// walk draws, but landing directly on column rows; everything
 	// downstream reads endpoint attributes from the columns.
 	perCountry := c.cfg.EndpointsPerCountry
 	if perCountry < 1 {
 		perCountry = 1
 	}
-	scr.probes = c.w.Selector.SampleEndpointsInto(c.g, round, perCountry, scr.probes)
-	ne := len(scr.probes)
+	scr.eps = c.draftEndpoints(scr, round, perCountry)
+	eps := scr.eps
+	ne := len(eps)
 	info.Endpoints = ne
 	cols := c.cols
-	scr.eps = grown(scr.eps, ne)
-	eps := scr.eps
 	if scr.exclude == nil {
 		scr.exclude = make(map[atlas.ProbeID]bool, ne)
 	} else {
 		clear(scr.exclude)
 	}
-	for i, p := range scr.probes {
-		eps[i] = cols.Row(p.ID)
-		scr.exclude[p.ID] = true
+	for _, row := range eps {
+		scr.exclude[atlas.ProbeID(cols.ProbeID[row])] = true
 	}
 
 	// Step 3 (selection half): relay sampling. Sampled before leg
@@ -417,7 +428,7 @@ func (c *campaign) roundExec(slot *roundSlot, round int, emit Sink, settleInline
 	scr.windowUp = grown(scr.windowUp, ne)
 	windowUp := scr.windowUp
 	for i := 0; i < ne; i++ {
-		windowUp[i] = c.w.Atlas.WindowUp(atlas.ProbeID(cols.ProbeID[eps[i]]), round)
+		windowUp[i] = c.windowUpAt(atlas.ProbeID(cols.ProbeID[eps[i]]), round)
 	}
 	scr.relayUp = grown(scr.relayUp, nr)
 	relayUp := scr.relayUp
@@ -425,7 +436,7 @@ func (c *campaign) roundExec(slot *roundSlot, round int, emit Sink, settleInline
 		r := &c.w.Catalog.Relays[ri]
 		// RAR relays are probes with the same outage process; COR router
 		// interfaces and PLR nodes were liveness-checked at sampling.
-		relayUp[pos] = r.ProbeID == 0 || c.w.Atlas.WindowUp(r.ProbeID, round)
+		relayUp[pos] = r.ProbeID == 0 || c.windowUpAt(r.ProbeID, round)
 	}
 
 	// Step 2: direct paths, both directions. The pair universe is never
@@ -449,26 +460,35 @@ func (c *campaign) roundExec(slot *roundSlot, round int, emit Sink, settleInline
 	fwd, rev := scr.fwd, scr.rev
 	clear(fwd)
 	clear(rev)
+	// Sampled rounds price direct pairs one-shot: the pair set changes
+	// every round at scale, so admitting their path states would churn
+	// the shared cache without ever serving a hit. Relay legs keep the
+	// cached path (relay populations recur across rounds). The one-shot
+	// path still reads the cache and computes the identical state — the
+	// emitted values are unchanged (path states are pure functions of
+	// pair identity).
+	oneShot := plan.idx != nil
 	var pings atomic.Int64
 	err := c.parallel(scr, np, func(s *scratch, k int) error {
 		i, j := plan.at(k)
 		if !windowUp[i] || !windowUp[j] {
-			pings.Add(int64(2 * c.cfg.PingsPerPair)) // pings sent, unanswered
+			s.pings += int64(2 * c.cfg.PingsPerPair) // pings sent, unanswered
 			return nil
 		}
 		a, b := cols.Endpoint(eps[i]), cols.Endpoint(eps[j])
-		mf, nf, err := c.medianRTT(slot.view, s, a, b, round, start)
+		mf, nf, err := c.medianRTTIn(slot.view, s, a, b, round, hourFrac, oneShot)
 		if err != nil {
 			return err
 		}
-		mr, nrev, err := c.medianRTT(slot.view, s, b, a, round, start)
+		mr, nrev, err := c.medianRTTIn(slot.view, s, b, a, round, hourFrac, oneShot)
 		if err != nil {
 			return err
 		}
 		fwd[k], rev[k] = mf, mr
-		pings.Add(int64(nf + nrev))
+		s.pings += int64(nf + nrev)
 		return nil
 	})
+	c.flushPings(scr, &pings)
 	if err != nil {
 		return info, atlas.Reservation{}, err
 	}
@@ -628,18 +648,41 @@ func (c *campaign) roundExec(slot *roundSlot, round int, emit Sink, settleInline
 	legJobs := scr.legJobs
 	scr.legVals = grown(scr.legVals, len(legJobs))
 	legVals := scr.legVals
-	err = c.parallel(scr, len(legJobs), func(s *scratch, k int) error {
-		idx := legJobs[k]
-		e := int(activeList[int(idx/int64(nr))])
-		relay := &c.w.Catalog.Relays[roundRelays[int(idx%int64(nr))]]
-		m, n, err := c.medianRTT(slot.view, s, cols.Endpoint(eps[e]), relay.Endpoint, round, start)
-		if err != nil {
+	// Legs are priced in chunks: each worker gathers legChunk endpoint-
+	// relay pairs, batch-resolves their cached path states in one
+	// memory-parallel pass (latency.ResolveBatch — on a warm round this
+	// is where most of the round's DRAM stalls used to serialize), then
+	// prices each train off its resolved handle.
+	nChunks := (len(legJobs) + legChunk - 1) / legChunk
+	err = c.parallel(scr, nChunks, func(s *scratch, ck int) error {
+		lo := ck * legChunk
+		hi := lo + legChunk
+		if hi > len(legJobs) {
+			hi = len(legJobs)
+		}
+		if cap(s.pairs) < legChunk {
+			s.pairs = make([]latency.EndpointPair, legChunk)
+			s.handles = make([]latency.PairHandle, legChunk)
+		}
+		pairs := s.pairs[:hi-lo]
+		handles := s.handles[:hi-lo]
+		for k := lo; k < hi; k++ {
+			idx := legJobs[k]
+			e := int(activeList[int(idx/int64(nr))])
+			relay := &c.w.Catalog.Relays[roundRelays[int(idx%int64(nr))]]
+			pairs[k-lo] = latency.EndpointPair{A: cols.Endpoint(eps[e]), B: relay.Endpoint}
+		}
+		if err := slot.view.ResolveBatch(pairs, handles); err != nil {
 			return err
 		}
-		legVals[k] = m
-		pings.Add(int64(n))
+		for j := range handles {
+			m, n := c.medianFromHandle(slot.view, s, &handles[j], round, hourFrac)
+			legVals[lo+j] = m
+			s.pings += int64(n)
+		}
 		return nil
 	})
+	c.flushPings(scr, &pings)
 	if err != nil {
 		return info, atlas.Reservation{}, err
 	}
@@ -661,7 +704,16 @@ func (c *campaign) roundExec(slot *roundSlot, round int, emit Sink, settleInline
 	// Step 4 (stitching): build observations in pair order, into the
 	// real sink (sequential) or the slot's buffer (pipelined). Every
 	// observation field is a column read; leg medians come back through
-	// the bitset rank lookup.
+	// the bitset rank lookup. Sinks that understand columnar delivery
+	// (BlockSink) receive the round as one reused column block instead
+	// of per-observation Emit calls — same values, no per-observation
+	// arena copy or interface dispatch. The pipelined executor buffers
+	// through obsBuffer (not a BlockSink), so blocks flow on the
+	// sequential path.
+	blockSink, _ := emit.(BlockSink)
+	if blockSink != nil {
+		slot.block.reset(round)
+	}
 	for it := newPairIter(plan); it.next(); {
 		k := it.k
 		if fwd[k] == 0 {
@@ -703,18 +755,92 @@ func (c *campaign) roundExec(slot *roundSlot, round int, emit Sink, settleInline
 				slot.improving = append(slot.improving, ImproveEntry{Relay: int32(ri), RelayedMs: stitched})
 			}
 		}
-		// Improving entries escape into the sink, so they get an
-		// exact-size arena copy: the scratch absorbs the append growth,
-		// the observation retains not an entry more than it owns.
-		if len(slot.improving) > 0 {
-			o.Improving = slot.arena.alloc(len(slot.improving))
-			copy(o.Improving, slot.improving)
+		if blockSink != nil {
+			// Columnar delivery: the improving entries copy straight into
+			// the block's flat buffer (the block is reused per slot, so no
+			// arena escape bookkeeping is needed).
+			slot.block.append(&o, slot.improving)
+		} else {
+			// Improving entries escape into the sink, so they get an
+			// exact-size arena copy: the scratch absorbs the append growth,
+			// the observation retains not an entry more than it owns.
+			if len(slot.improving) > 0 {
+				o.Improving = slot.arena.alloc(len(slot.improving))
+				copy(o.Improving, slot.improving)
+			}
+			emit.Emit(o)
 		}
-		emit.Emit(o)
 		info.PairsUsable++
+	}
+	if blockSink != nil {
+		blockSink.EmitBlock(&slot.block)
 	}
 	c.executed.Add(1)
 	return info, resv, nil
+}
+
+// draftEndpoints draws the round's endpoint rows over the world's draft
+// index: per country (the selector's sorted order) a permutation of its
+// verified AS groups, per group a permutation of its eligible rows,
+// taking responsive rows until the per-country quota — the exact draw
+// sequence of eyeball.SampleEndpointsInto (pinned by the
+// draw-equivalence test), over int32 column rows instead of
+// *atlas.Probe pointers. Hand-assembled worlds without a draft index
+// fall back to the selector walk and keep the classic availability
+// coins.
+func (c *campaign) draftEndpoints(scr *roundScratch, round, perCountry int) []int32 {
+	d := c.w.Draft
+	if d == nil {
+		scr.probes = c.w.Selector.SampleEndpointsInto(c.g, round, perCountry, scr.probes)
+		eps := grown(scr.eps, len(scr.probes))
+		for i, p := range scr.probes {
+			eps[i] = c.cols.Row(p.ID)
+		}
+		return eps
+	}
+	cols := c.cols
+	g := c.g.SplitN("endpoints", round)
+	eps := scr.eps[:0]
+	for ci := 0; ci < d.NumCountries(); ci++ {
+		took := 0
+		scr.asPerm = g.PermInto(scr.asPerm, d.NumGroups(ci))
+		for _, gi := range scr.asPerm {
+			rows := d.Rows(ci, gi)
+			scr.probePerm = g.PermInto(scr.probePerm, len(rows))
+			for _, pi := range scr.probePerm {
+				row := rows[pi]
+				if c.responsiveAt(atlas.ProbeID(cols.ProbeID[row]), round) {
+					eps = append(eps, row)
+					took++
+					if took == perCountry {
+						break
+					}
+				}
+			}
+			if took == perCountry {
+				break
+			}
+		}
+	}
+	return eps
+}
+
+// responsiveAt and windowUpAt are the campaign's availability coins,
+// selecting the historical rng.Rand family or the fast value-type
+// family per Config.FastAvailability (the two draw different, equally
+// deterministic sequences; see the Config field).
+func (c *campaign) responsiveAt(id atlas.ProbeID, round int) bool {
+	if c.cfg.FastAvailability {
+		return c.w.Atlas.ResponsiveFast(id, round)
+	}
+	return c.w.Atlas.Responsive(id, round)
+}
+
+func (c *campaign) windowUpAt(id atlas.ProbeID, round int) bool {
+	if c.cfg.FastAvailability {
+		return c.w.Atlas.WindowUpFast(id, round)
+	}
+	return c.w.Atlas.WindowUp(id, round)
 }
 
 // feasibleDirect applies the Section-2.4 speed-of-light filter by direct
@@ -743,23 +869,57 @@ func (scr *roundScratch) legVal(nrW, ai, pos int) float32 {
 
 // scratch is per-worker reusable state: medianRTT is called millions of
 // times per campaign, so neither its train buffer nor its sample buffer
-// may be reallocated per pair.
+// may be reallocated per pair. ps is the one-shot pricing scratch — the
+// path-expansion buffers the cache-bypassing fast path reuses.
 type scratch struct {
-	train []latency.PingSample
-	vals  []float64
+	train   []latency.PingSample
+	vals    []float64
+	hf      []float64 // slot schedule buffer for windowStart-based callers
+	ps      latency.PathScratch
+	pairs   []latency.EndpointPair // leg-chunk batch resolve input
+	handles []latency.PairHandle   // leg-chunk batch resolve output
+	pings   int64                  // pings sent by this worker since the last flush
+}
+
+// flushPings folds every worker's locally accumulated ping count into
+// the round total. The hot loops count into their scratch — one plain
+// add per train instead of one atomic RMW — and the round body flushes
+// after each parallel section.
+func (c *campaign) flushPings(scr *roundScratch, pings *atomic.Int64) {
+	for i := range scr.workers {
+		pings.Add(scr.workers[i].pings)
+		scr.workers[i].pings = 0
+	}
 }
 
 // medianRTT sends the round's ping train from a to b as one batched
 // PingTrain call and returns the median in milliseconds (0 when fewer
 // than MinValidPings replies arrived) plus the number of pings sent.
 func (c *campaign) medianRTT(view latency.View, s *scratch, a, b latency.Endpoint, round int, windowStart time.Time) (float32, int, error) {
+	s.hf = latency.SlotHourFracs(windowStart, c.cfg.PingInterval, c.cfg.PingsPerPair, s.hf[:0])
+	return c.medianRTTIn(view, s, a, b, round, s.hf, false)
+}
+
+// medianRTTIn is medianRTT on the round's precomputed slot schedule
+// (roundScratch.hourFrac), with the pricing path selectable: oneShot
+// prices the pair on the stack (PingTrainOneShotSched) — reading but
+// never populating the shared path-state cache — which sampled rounds
+// use for direct pairs that will never be seen again. Both paths
+// produce identical medians.
+func (c *campaign) medianRTTIn(view latency.View, s *scratch, a, b latency.Endpoint, round int, hourFrac []float64, oneShot bool) (float32, int, error) {
 	n := c.cfg.PingsPerPair
 	if cap(s.train) < n {
 		s.train = make([]latency.PingSample, n)
 		s.vals = make([]float64, 0, n)
 	}
 	train := s.train[:n]
-	if err := view.PingTrain(a, b, round, windowStart, c.cfg.PingInterval, train); err != nil {
+	var err error
+	if oneShot {
+		err = view.PingTrainOneShotSched(a, b, round, hourFrac, train, &s.ps)
+	} else {
+		err = view.PingTrainSched(a, b, round, hourFrac, train)
+	}
+	if err != nil {
 		return 0, 0, err
 	}
 	vals := s.vals[:0]
@@ -772,6 +932,34 @@ func (c *campaign) medianRTT(view latency.View, s *scratch, a, b latency.Endpoin
 		return 0, n, nil
 	}
 	return float32(median(vals)), n, nil
+}
+
+// legChunk is how many leg jobs a worker gathers per batch resolve —
+// sized to keep several independent cache misses in flight (see
+// latency.ResolveBatch) while staying far below a round's job count, so
+// the work-stealing dispatch stays balanced.
+const legChunk = 16
+
+// medianFromHandle is medianRTTIn for a batch-resolved pair: the train
+// is priced off the PairHandle, so no per-pair cache traffic remains.
+func (c *campaign) medianFromHandle(view latency.View, s *scratch, h *latency.PairHandle, round int, hourFrac []float64) (float32, int) {
+	n := c.cfg.PingsPerPair
+	if cap(s.train) < n {
+		s.train = make([]latency.PingSample, n)
+		s.vals = make([]float64, 0, n)
+	}
+	train := s.train[:n]
+	view.PingTrainSchedHandle(h, round, hourFrac, train)
+	vals := s.vals[:0]
+	for i := range train {
+		if train[i].OK {
+			vals = append(vals, float64(train[i].RTT)/float64(time.Millisecond))
+		}
+	}
+	if len(vals) < c.cfg.MinValidPings {
+		return 0, n
+	}
+	return float32(median(vals)), n
 }
 
 // median returns the exact median of vals, sorting in place. Ping trains

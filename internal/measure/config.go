@@ -81,6 +81,20 @@ type Config struct {
 	// filter only removes relays that cannot win) while measurement cost
 	// rises sharply.
 	DisableFeasibilityFilter bool
+	// FastAvailability switches the per-(probe, round) availability
+	// coins — the drafting responsiveness check and the window/relay
+	// liveness checks — from the seed-table-based rng.Rand family to the
+	// value-type atlas.ResponsiveFast/WindowUpFast streams, cutting the
+	// per-coin cost from ~13µs (a lagged-Fibonacci table reseed per
+	// coin) to ~10ns. The fast family draws a DIFFERENT (equally
+	// deterministic) coin sequence, so flipping this knob changes which
+	// probes are up in a given round: the default false keeps the
+	// historical sequence the exhaustive and sampled golden digests pin,
+	// while the fast path carries its own golden digests
+	// (TestFastAvailabilityGoldenDigests). Scale-tier campaigns — where
+	// availability coins otherwise dominate the round wall-clock —
+	// should set it.
+	FastAvailability bool
 }
 
 // DefaultConfig returns the paper's campaign schedule.

@@ -17,6 +17,7 @@ package relays
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"shortcuts/internal/atlas"
@@ -239,6 +240,24 @@ func (c *Catalog) buildPLR(d Deps) {
 }
 
 func (c *Catalog) buildRAR(d Deps) {
+	// Size the catalog up front: at the scale tiers this loop appends
+	// ~a million ~136-byte Relay values, and letting append regrow the
+	// slice dominates the whole world build in memclr/memmove. One
+	// counting pass costs microseconds and makes every append O(1).
+	eye, other := 0, 0
+	for _, p := range d.Atlas.Probes() {
+		if !p.Eligible() {
+			continue
+		}
+		if d.IsEyeball(p.AS, p.CC) {
+			eye++
+		} else {
+			other++
+		}
+	}
+	c.Relays = grow(c.Relays, eye+other)
+	c.byType[RAREye] = grow(c.byType[RAREye], eye)
+	c.byType[RAROther] = grow(c.byType[RAROther], other)
 	for _, p := range d.Atlas.Probes() {
 		if !p.Eligible() {
 			continue
@@ -246,7 +265,7 @@ func (c *Catalog) buildRAR(d Deps) {
 		if d.IsEyeball(p.AS, p.CC) {
 			idx := c.add(Relay{
 				Type:     RAREye,
-				ID:       fmt.Sprintf("rar-eye-%d", p.ID),
+				ID:       "rar-eye-" + strconv.Itoa(int(p.ID)),
 				Endpoint: p.Endpoint(),
 				CC:       p.CC,
 				City:     p.City,
@@ -261,7 +280,7 @@ func (c *Catalog) buildRAR(d Deps) {
 		} else {
 			idx := c.add(Relay{
 				Type:     RAROther,
-				ID:       fmt.Sprintf("rar-other-%d", p.ID),
+				ID:       "rar-other-" + strconv.Itoa(int(p.ID)),
 				Endpoint: p.Endpoint(),
 				CC:       p.CC,
 				City:     p.City,
@@ -270,4 +289,15 @@ func (c *Catalog) buildRAR(d Deps) {
 			c.otherByCC[p.CC] = append(c.otherByCC[p.CC], idx)
 		}
 	}
+}
+
+// grow returns s with capacity for at least n more elements beyond its
+// current length, preserving contents.
+func grow[T any](s []T, n int) []T {
+	if cap(s)-len(s) >= n {
+		return s
+	}
+	out := make([]T, len(s), len(s)+n)
+	copy(out, s)
+	return out
 }

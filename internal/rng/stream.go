@@ -53,6 +53,42 @@ func (s Stream) Derive(label string, n uint64) Stream {
 	return Stream{state: h}
 }
 
+// At returns an independent stream identified by (s, n): Derive with an
+// empty label, reduced to a single 8-byte fold. It is the cheapest
+// per-index derivation — what per-(entity, round) coin flips on the
+// scale tiers use, where even a short label's byte walk is measurable
+// across millions of draws per round.
+func (s Stream) At(n uint64) Stream {
+	return Stream{state: FNVUint64(FNVUint64(FNVOffset64, s.state), n)}
+}
+
+// Prefix is a precomputed Derive prefix: the running FNV-1a fold of a
+// stream's identity and a label, frozen before the final index fold.
+// Hot loops that derive per-index streams under one fixed label — the
+// per-ping streams, millions per round on the scale tiers — hoist the
+// (state, label) byte walk out of the loop and pay a single 8-byte fold
+// per derivation. The identity s.Derive(label, n) == s.Prefix(label).At(n)
+// holds for every (s, label, n) and is pinned by a unit test.
+type Prefix struct {
+	h uint64
+}
+
+// Prefix freezes the (s, label) fold of Derive.
+func (s Stream) Prefix(label string) Prefix {
+	h := FNVOffset64
+	h = FNVUint64(h, s.state)
+	for i := 0; i < len(label); i++ {
+		h = (h ^ uint64(label[i])) * fnvPrime64
+	}
+	return Prefix{h: h}
+}
+
+// At completes a derivation: Derive's final 8-byte fold of n onto the
+// frozen prefix.
+func (p Prefix) At(n uint64) Stream {
+	return Stream{state: FNVUint64(p.h, n)}
+}
+
 // Named returns an independent stream identified by (s, name): the
 // string-keyed analogue of Derive, for chains of event identities where
 // the discriminator is a name rather than a counter (scenario → event →

@@ -190,3 +190,20 @@ func TestStreamZeroAlloc(t *testing.T) {
 		t.Fatalf("stream derive+draws allocated %.1f/op, want 0", allocs)
 	}
 }
+
+func TestStreamPrefixMatchesDerive(t *testing.T) {
+	// Prefix+At is Derive with the (state, label) fold hoisted; the two
+	// must land on identical streams for every label and index, or every
+	// consumer that hoists a prefix silently forks its draw sequence.
+	for _, label := range []string{"", "ping", "path", "endpoint", "a-much-longer-label"} {
+		base := NewStream(12345).Derive(label, 7) // arbitrary non-trivial state
+		pre := base.Prefix(label)
+		for n := uint64(0); n < 100; n++ {
+			want := base.Derive(label, n)
+			got := pre.At(n)
+			if got.Uint64() != want.Uint64() {
+				t.Fatalf("Prefix(%q).At(%d) diverges from Derive", label, n)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"sync"
 	"time"
 
 	"shortcuts/internal/atlas"
@@ -60,6 +61,17 @@ type EndpointColumns struct {
 // pure function of the already-built stages and build parallelism cannot
 // perturb them.
 func BuildEndpointColumns(pl *atlas.Platform, topo *topology.Topology, sel *eyeball.Selector) *EndpointColumns {
+	return BuildEndpointColumnsWith(pl, topo, sel, 1)
+}
+
+// BuildEndpointColumnsWith is BuildEndpointColumns sharded over the
+// given worker budget. The per-row columns are pure per-index writes
+// against read-only inputs (probe attributes, the city table, the
+// selector's verification maps), so they fill in parallel ranges; only
+// the CC/Cont string-table interning walks sequentially, preserving the
+// first-appearance table order exactly. Output is identical for every
+// worker count.
+func BuildEndpointColumnsWith(pl *atlas.Platform, topo *topology.Topology, sel *eyeball.Selector, workers int) *EndpointColumns {
 	probes := pl.Probes()
 	n := len(probes)
 	c := &EndpointColumns{
@@ -74,8 +86,6 @@ func BuildEndpointColumns(pl *atlas.Platform, topo *topology.Topology, sel *eyeb
 		AccessNs: make([]int64, n),
 		Weight:   make([]float32, n),
 	}
-	ccIdx := make(map[string]uint16)
-	contIdx := make(map[string]uint8)
 	maxID := atlas.ProbeID(0)
 	for _, p := range probes {
 		if p.ID > maxID {
@@ -83,17 +93,39 @@ func BuildEndpointColumns(pl *atlas.Platform, topo *topology.Topology, sel *eyeb
 		}
 	}
 	c.rowOf = make([]int32, int(maxID)+1)
-	for i := range c.rowOf {
-		c.rowOf[i] = -1
-	}
+	shardRange(len(c.rowOf), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c.rowOf[i] = -1
+		}
+	})
+	shardRange(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := probes[i]
+			c.ProbeID[i] = uint32(p.ID)
+			c.AS[i] = uint32(p.AS)
+			c.City[i] = uint32(p.City)
+			c.AccessNs[i] = int64(p.Access)
+			city := &topo.Cities[p.City]
+			c.Lat[i] = float32(city.Loc.Lat)
+			c.Lon[i] = float32(city.Loc.Lon)
+			var f uint8
+			if p.Eligible() {
+				f |= FlagEligible
+			}
+			if p.Anchor {
+				f |= FlagAnchor
+			}
+			if sel.IsEyeball(p.AS, p.CC) {
+				f |= FlagEyeball
+				c.Weight[i] = float32(sel.PopulationWeight(p.AS, p.CC))
+			}
+			c.Flags[i] = f
+			c.rowOf[p.ID] = int32(i)
+		}
+	})
+	ccIdx := make(map[string]uint16)
+	contIdx := make(map[string]uint8)
 	for i, p := range probes {
-		c.ProbeID[i] = uint32(p.ID)
-		c.AS[i] = uint32(p.AS)
-		c.City[i] = uint32(p.City)
-		c.AccessNs[i] = int64(p.Access)
-		city := &topo.Cities[p.City]
-		c.Lat[i] = float32(city.Loc.Lat)
-		c.Lon[i] = float32(city.Loc.Lon)
 		cci, ok := ccIdx[p.CC]
 		if !ok {
 			cci = uint16(len(c.CCs))
@@ -101,6 +133,7 @@ func BuildEndpointColumns(pl *atlas.Platform, topo *topology.Topology, sel *eyeb
 			c.CCs = append(c.CCs, p.CC)
 		}
 		c.CC[i] = cci
+		city := &topo.Cities[p.City]
 		coi, ok := contIdx[city.Continent]
 		if !ok {
 			coi = uint8(len(c.Conts))
@@ -108,21 +141,34 @@ func BuildEndpointColumns(pl *atlas.Platform, topo *topology.Topology, sel *eyeb
 			c.Conts = append(c.Conts, city.Continent)
 		}
 		c.Cont[i] = coi
-		var f uint8
-		if p.Eligible() {
-			f |= FlagEligible
-		}
-		if p.Anchor {
-			f |= FlagAnchor
-		}
-		if sel.IsEyeball(p.AS, p.CC) {
-			f |= FlagEyeball
-			c.Weight[i] = float32(sel.PopulationWeight(p.AS, p.CC))
-		}
-		c.Flags[i] = f
-		c.rowOf[p.ID] = int32(i)
 	}
 	return c
+}
+
+// shardRange fans f over [0, n) in contiguous per-worker ranges; small
+// inputs run inline.
+func shardRange(n, workers int, f func(lo, hi int)) {
+	if workers <= 1 || n < 4096 {
+		f(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // Len returns the number of rows (probes).

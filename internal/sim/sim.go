@@ -98,6 +98,12 @@ func ScaleWorldParams(seed int64, targetEndpoints int) WorldParams {
 		base = p.Atlas.EyeballBaseProbes
 	}
 	p.Atlas.EyeballBaseProbes = base
+	// Scale tiers deploy the fleet with the sharded per-AS generator:
+	// bit-identical across worker counts (proven by the build-identity
+	// test), but a different deterministic fleet than the sequential
+	// walk — which paper-scale worlds, and the golden digests pinned on
+	// them, keep using.
+	p.Atlas.ShardedDeployment = true
 	return p
 }
 
@@ -118,6 +124,7 @@ type World struct {
 	Sampler   *relays.Sampler
 	Selector  *eyeball.Selector
 	Columns   *EndpointColumns
+	Draft     *EndpointDraft
 
 	// cache backs SharedCache. Its presence makes World non-copyable
 	// (use the *World that Build returns, as all code already does).
@@ -187,8 +194,10 @@ type buildStage struct {
 }
 
 // worldStages returns the construction DAG in a valid sequential order
-// (every stage appears after its dependencies).
-func worldStages() []buildStage {
+// (every stage appears after its dependencies). workers is the build's
+// worker budget, passed into stages that shard internally (the fleet
+// deployment); internal sharding never affects results, only wall-clock.
+func worldStages(workers int) []buildStage {
 	return []buildStage{
 		{name: "apnic", run: func(w *World, p WorldParams, g *rng.Rand) error {
 			w.Apnic = apnic.Generate(g.Split("apnic"), apnic.DefaultParams(worlddata.CountryCodes()))
@@ -224,7 +233,7 @@ func worldStages() []buildStage {
 			return nil
 		}},
 		{name: "atlas", deps: []string{"topology"}, run: func(w *World, p WorldParams, g *rng.Rand) error {
-			w.Atlas = atlas.Generate(g, w.Topo, p.Atlas)
+			w.Atlas = atlas.GenerateWith(g, w.Topo, p.Atlas, workers)
 			return nil
 		}},
 		{name: "planetlab", deps: []string{"topology"}, run: func(w *World, p WorldParams, g *rng.Rand) error {
@@ -236,7 +245,11 @@ func worldStages() []buildStage {
 			return nil
 		}},
 		{name: "columns", deps: []string{"atlas", "topology", "eyeball"}, run: func(w *World, p WorldParams, g *rng.Rand) error {
-			w.Columns = BuildEndpointColumns(w.Atlas, w.Topo, w.Selector)
+			w.Columns = BuildEndpointColumnsWith(w.Atlas, w.Topo, w.Selector, workers)
+			return nil
+		}},
+		{name: "draft", deps: []string{"columns", "eyeball"}, run: func(w *World, p WorldParams, g *rng.Rand) error {
+			w.Draft = BuildEndpointDraft(w.Atlas, w.Selector, w.Columns)
 			return nil
 		}},
 		{name: "relays", deps: []string{"peeringdb", "facmap", "periscope", "planetlab", "eyeball"}, run: func(w *World, p WorldParams, g *rng.Rand) error {
@@ -276,7 +289,7 @@ func BuildWith(p WorldParams, o BuildOptions) (*World, error) {
 	g := rng.New(p.Seed)
 	w := &World{Params: p}
 	workers := o.EffectiveWorkers()
-	if err := runStages(worldStages(), workers, w, p, g); err != nil {
+	if err := runStages(worldStages(workers), workers, w, p, g); err != nil {
 		return nil, err
 	}
 	if o.WarmRoutes {

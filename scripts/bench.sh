@@ -31,9 +31,14 @@
 #   over a ~100k-endpoint world and records the derived endpoints/sec
 #   throughput alongside ns/op; the 1M tier is opt-in via
 #   SHORTCUTS_BENCH_1M=1 (the world build alone is ~10x the 100k
-#   tier's). When the BENCH_BEFORE file exists
+#   tier's). The world-build benchmarks (BenchmarkWorldBuild, including
+#   the scale-100k build tier) run at one iteration and land in the JSON
+#   alongside the round benchmarks, so build-time and round-time deltas
+#   live in the same artifact. When the BENCH_BEFORE file exists
 #   (default bench/before_pr3.txt) — the recorded pre-optimization run —
 #   it is folded into the JSON as the "before" section.
+#   scripts/trajectory.sh aggregates all committed BENCH_PR*.json into
+#   bench/TRAJECTORY.json, the cross-PR time series.
 #
 #   Set BENCH_PROFILE_DIR=dir to also write pprof cpu/mem profiles of
 #   the round-level and steady-state benchmark runs into dir (CI uploads
@@ -43,10 +48,12 @@
 # Compare mode:
 #   scripts/bench.sh --compare old.json new.json
 #   Matches benchmarks by name between OLD's "after" section and NEW's
-#   "after" section and reports the ns/op ratio for each. Exits 1 when
-#   any shared benchmark regressed by more than the threshold (default
-#   25%; override with BENCH_THRESHOLD_PCT). Benchmarks present in only
-#   one file are reported but never fail the comparison. CI runs this
+#   "after" section and reports the ns/op ratio for each — plus the
+#   endpoints_per_sec ratio for benchmarks that report it (the scale
+#   tiers), where a DROP beyond the threshold is the regression. Exits 1
+#   when any shared benchmark regressed by more than the threshold
+#   (default 25%; override with BENCH_THRESHOLD_PCT). Benchmarks present
+#   in only one file are reported but never fail the comparison. CI runs this
 #   non-blocking against the checked-in baseline: shared runners are
 #   noisy, so the compare is a visibility step, not a gate — the
 #   allocs/op invariants that must hold are enforced by AllocsPerRun
@@ -86,8 +93,9 @@ parse_bench() {
     ' "$1"
 }
 
-# extract_after pulls "name ns_per_op" pairs out of a bench JSON's
-# "after" section (the live-run numbers).
+# extract_after pulls "name ns_per_op endpoints_per_sec" triples out of
+# a bench JSON's "after" section (the live-run numbers);
+# endpoints_per_sec is "null" for benchmarks that do not report it.
 extract_after() {
     awk '
     /"after"/ { in_after = 1; next }
@@ -96,7 +104,12 @@ extract_after() {
         sub(/.*"name": "/, "", line); name = line; sub(/".*/, "", name)
         line = $0
         sub(/.*"ns_per_op": /, "", line); ns = line; sub(/[,}].*/, "", ns)
-        if (ns != "null" && name != "") print name, ns
+        eps = "null"
+        if ($0 ~ /"endpoints_per_sec"/) {
+            line = $0
+            sub(/.*"endpoints_per_sec": /, "", line); eps = line; sub(/[,}].*/, "", eps)
+        }
+        if (ns != "null" && name != "") print name, ns, eps
     }
     ' "$1"
 }
@@ -111,15 +124,22 @@ compare() {
     extract_after "$old" > "$oldvals"
     extract_after "$new" > "$newvals"
 
-    echo "== bench compare: $new vs baseline $old (fail > ${threshold}% ns/op regression) =="
+    echo "== bench compare: $new vs baseline $old (fail > ${threshold}% ns/op or endpoints/sec regression) =="
     awk -v threshold="$threshold" '
-    NR == FNR { base[$1] = $2; next }
+    NR == FNR { base[$1] = $2; baseeps[$1] = $3; next }
     {
         if ($1 in base) {
             ratio = 100 * ($2 - base[$1]) / base[$1]
             verdict = "ok"
             if (ratio > threshold) { verdict = "REGRESSED"; failed = 1 }
             printf("%-40s %14.1f -> %14.1f ns/op  %+7.1f%%  %s\n", $1, base[$1], $2, ratio, verdict)
+            # Throughput metric (scale tiers): a drop is the regression.
+            if ($3 != "null" && baseeps[$1] != "null" && baseeps[$1] + 0 > 0) {
+                eratio = 100 * ($3 - baseeps[$1]) / baseeps[$1]
+                everdict = "ok"
+                if (eratio < -threshold) { everdict = "REGRESSED"; failed = 1 }
+                printf("%-40s %14.1f -> %14.1f endpoints/sec  %+7.1f%%  %s\n", $1, baseeps[$1], $3, eratio, everdict)
+            }
             seen[$1] = 1
             shared++
         } else {
@@ -160,6 +180,7 @@ ref="$(printf '%s' "$ref" | tr -c 'A-Za-z0-9_-' '_')"
 OUT="${BENCH_OUT:-BENCH_${ref}.json}"
 BEFORE="${BENCH_BEFORE:-bench/before_pr3.txt}"
 
+WORLD_BENCH='BenchmarkWorldBuild'
 PING_BENCH='BenchmarkPingHotPath|BenchmarkPingTrain|BenchmarkBaseRTTWarm'
 ROUND_BENCH='BenchmarkRunStream|BenchmarkCampaignRound$|BenchmarkScenarioRound'
 SWEEP_BENCH='BenchmarkSweep'
@@ -181,6 +202,9 @@ profile_flags() {
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
+
+echo "== world-build benchmarks (1 iteration; scale-100k tier included, SHORTCUTS_BENCH_1M=1 adds 1M) ==" >&2
+go test -run '^$' -bench "$WORLD_BENCH" -benchtime=1x -benchmem -timeout 40m . | tee -a "$raw" >&2
 
 echo "== ping-level benchmarks (internal/latency) ==" >&2
 go test -run '^$' -bench "$PING_BENCH" -benchmem ./internal/latency/ | tee -a "$raw" >&2

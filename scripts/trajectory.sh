@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# trajectory.sh — aggregate every checked-in BENCH_PR*.json at the repo
+# root into one machine-readable time series, bench/TRAJECTORY.json:
+# for each benchmark, one point per PR baseline carrying ns_per_op,
+# allocs_per_op and (where the benchmark reports it) endpoints_per_sec.
+# The per-PR files record each optimization PR's "after" numbers; this
+# script folds them into a single artifact so the performance trajectory
+# across the PR stack is one file, not an archaeology exercise.
+#
+# Usage:
+#   scripts/trajectory.sh              # write bench/TRAJECTORY.json
+#   TRAJECTORY_OUT=out.json scripts/trajectory.sh
+#
+# Points appear in PR order (version-sorted file names); benchmarks
+# appear in first-seen order. A benchmark absent from a PR's file (not
+# yet written, or since retired) simply has no point for that PR.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${TRAJECTORY_OUT:-bench/TRAJECTORY.json}"
+
+files="$(ls BENCH_PR*.json 2>/dev/null | sort -V)"
+[ -n "$files" ] || { echo "trajectory.sh: no BENCH_PR*.json at repo root" >&2; exit 2; }
+
+# Pass 1: flatten every file's "after" section into
+# ref|name|ns|allocs|eps lines (eps is "null" when not reported).
+# shellcheck disable=SC2086
+flat="$(awk '
+FNR == 1 { ref = FILENAME; sub(/^BENCH_/, "", ref); sub(/\.json$/, "", ref); in_after = 0 }
+/"ref"/ {
+    line = $0; sub(/.*"ref": "/, "", line); sub(/".*/, "", line)
+    if (line != "") ref = line
+}
+/"after"/ { in_after = 1; next }
+in_after && /"name"/ {
+    name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+    ns = $0; sub(/.*"ns_per_op": /, "", ns); sub(/[,}].*/, "", ns)
+    allocs = $0; sub(/.*"allocs_per_op": /, "", allocs); sub(/[,}].*/, "", allocs)
+    eps = "null"
+    if ($0 ~ /"endpoints_per_sec"/) {
+        eps = $0; sub(/.*"endpoints_per_sec": /, "", eps); sub(/[,}].*/, "", eps)
+    }
+    print ref "|" name "|" ns "|" allocs "|" eps
+}
+' $files)"
+
+mkdir -p "$(dirname "$OUT")"
+
+# Pass 2: group the flat lines into one series per benchmark.
+{
+    echo '{'
+    printf '  "sources": ['
+    first=1
+    for f in $files; do
+        [ $first -eq 1 ] || printf ', '
+        printf '"%s"' "$f"
+        first=0
+    done
+    echo '],'
+    echo '  "series": ['
+    printf '%s\n' "$flat" | awk -F'|' '
+    {
+        if (!($2 in seen)) { seen[$2] = 1; order[++n] = $2 }
+        extra = ""
+        if ($5 != "null") extra = sprintf(", \"endpoints_per_sec\": %s", $5)
+        pt = sprintf("        {\"ref\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s%s}", $1, $3, $4, extra)
+        pts[$2] = pts[$2] (pts[$2] == "" ? "" : ",\n") pt
+    }
+    END {
+        for (i = 1; i <= n; i++) {
+            printf("    {\"name\": \"%s\", \"points\": [\n%s\n    ]}%s\n", order[i], pts[order[i]], i < n ? "," : "")
+        }
+    }
+    '
+    echo '  ]'
+    echo '}'
+} > "$OUT"
+
+echo "wrote $OUT ($(printf '%s\n' "$flat" | wc -l) points)" >&2

@@ -91,6 +91,15 @@ type Config struct {
 	Rounds int
 	// SmallWorld selects the reduced topology for fast experimentation.
 	SmallWorld bool
+	// ScaleEndpoints, when positive, grows the world until its responsive
+	// probe population reaches roughly this many endpoints
+	// (sim.ScaleWorldParams) and switches the campaign onto the
+	// scale-tier path: every responsive probe is drafted each round and
+	// per-round availability runs the fast coin stream. Scale campaigns
+	// must set PairBudget — the exhaustive pair universe is quadratic in
+	// the population and unmeasurable at these sizes. Mutually exclusive
+	// with SmallWorld.
+	ScaleEndpoints int
 	// Concurrency bounds the per-round measurement worker pool; 0 means
 	// a GOMAXPROCS-derived budget (shared across pipelined rounds).
 	Concurrency int

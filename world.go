@@ -45,6 +45,9 @@ func buildWorldWith(cfg Config, buildWorkers int) (*World, error) {
 
 // worldParams maps the public config onto world parameters.
 func worldParams(cfg Config) sim.WorldParams {
+	if cfg.ScaleEndpoints > 0 {
+		return sim.ScaleWorldParams(cfg.Seed, cfg.ScaleEndpoints)
+	}
 	if cfg.SmallWorld {
 		return sim.SmallWorldParams(cfg.Seed)
 	}
@@ -74,6 +77,18 @@ func NewCampaignWith(w *World, cfg Config) (*Campaign, error) {
 	mc.PairBudget = cfg.PairBudget
 	mc.CampaignSeed = cfg.Seed
 	mc.Scenario = cfg.Scenario.innerScenario()
+	if cfg.ScaleEndpoints > 0 {
+		// Scale tier: draft the full responsive population per country
+		// and run the fast availability coins — the configuration the
+		// scale benchmarks pin (see measure.Config.FastAvailability on
+		// why the classic coin stream is untenable at this size). The
+		// RIPE Atlas credit model is calibrated to the paper's ~500
+		// endpoints; a 100k round spends ~20x the daily budget on
+		// sampled pairs alone, so scale campaigns run uncapped.
+		mc.EndpointsPerCountry = 1 << 20
+		mc.FastAvailability = true
+		mc.DailyCreditLimit = 0
+	}
 	return &Campaign{inner: core.NewCampaignWith(w.inner, mc)}, nil
 }
 
