@@ -1,0 +1,98 @@
+// Command relayserve runs the relay-planning service: it builds a world
+// and a warm measurement campaign at startup, then answers best-relay,
+// facility, relay and corridor-plan queries over HTTP/JSON from the
+// cached campaign results. The serving world is hot-swappable with zero
+// downtime: POST /v1/admin/swap?seed=N&scenario=<name> builds the new
+// (seed, scenario) state while the old one keeps serving and publishes
+// it atomically — in-flight requests finish on the state they started
+// with.
+//
+// The listener binds before the first world builds, so /healthz answers
+// immediately and /readyz flips to 200 when the warm campaign
+// publishes; orchestrators (and the CI e2e gate) poll it.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"shortcuts/internal/scenario"
+	"shortcuts/internal/serve"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port and logs it)")
+		seed   = flag.Int64("seed", 1, "initial world + campaign seed")
+		rounds = flag.Int("rounds", 4, "warm campaign rounds per serving state")
+		scen   = flag.String("scenario", "", "initial scenario preset: "+strings.Join(scenario.PresetNames(), "|")+" (empty = calm)")
+		scale  = flag.Int("scale", 0, "grow worlds to roughly this many responsive endpoints (requires -pairbudget; incompatible with -small)")
+		budget = flag.Int("pairbudget", 0, "endpoint pairs measured per warm-campaign round: 0 = exhaustive")
+		small  = flag.Bool("small", false, "serve the reduced world (fast boot: tests, CI smoke)")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "relayserve: ", log.LstdFlags)
+	srv, err := serve.New(serve.Options{
+		Seed:           *seed,
+		Rounds:         *rounds,
+		Scenario:       *scen,
+		SmallWorld:     *small,
+		ScaleEndpoints: *scale,
+		PairBudget:     *budget,
+		Logf:           logger.Printf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	// Bind before building: /healthz and /readyz must answer while the
+	// first world builds, and port 0 callers need the resolved address.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("relayserve: listening on http://%s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 2)
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	go func() {
+		if err := srv.Warm(); err != nil {
+			errc <- fmt.Errorf("initial build: %w", err)
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+		logger.Printf("shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			fatal(fmt.Errorf("shutdown: %w", err))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "relayserve:", err)
+	os.Exit(1)
+}

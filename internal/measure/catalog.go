@@ -1,0 +1,89 @@
+package measure
+
+import "sort"
+
+// Corridor is a normalized country pair: A and B are ISO country codes
+// with A <= B, so (DE, JP) and (JP, DE) name the same corridor.
+type Corridor struct{ A, B string }
+
+// CorridorOf normalizes a country pair into its corridor key.
+func CorridorOf(ccA, ccB string) Corridor {
+	if ccB < ccA {
+		ccA, ccB = ccB, ccA
+	}
+	return Corridor{A: ccA, B: ccB}
+}
+
+// ResultCatalog indexes a finished campaign's observations by corridor,
+// so per-corridor consumers — the relay-planning service's query cache,
+// the CLI corridor reports — resolve a (src, dst) lookup through one map
+// probe instead of re-scanning (or re-streaming) the full observation
+// set per query. The catalog holds int32 indices into the backing
+// Results' observation slice, not copies, so it costs one int32 per
+// observation however many corridors exist. It is immutable once built
+// and safe for concurrent readers.
+type ResultCatalog struct {
+	res        *Results
+	byCorridor map[Corridor][]int32
+	corridors  []Corridor // sorted by (A, B)
+	countries  []string   // sorted, deduplicated endpoint countries
+}
+
+// NewResultCatalog builds the corridor index over res. The catalog
+// aliases res.Observations; res must not be mutated afterwards (a
+// finished campaign's Results never is).
+func NewResultCatalog(res *Results) *ResultCatalog {
+	c := &ResultCatalog{
+		res:        res,
+		byCorridor: make(map[Corridor][]int32),
+	}
+	seenCC := make(map[string]bool)
+	for i := range res.Observations {
+		o := &res.Observations[i]
+		key := CorridorOf(o.SrcCC, o.DstCC)
+		c.byCorridor[key] = append(c.byCorridor[key], int32(i))
+		seenCC[o.SrcCC] = true
+		seenCC[o.DstCC] = true
+	}
+	c.corridors = make([]Corridor, 0, len(c.byCorridor))
+	for key := range c.byCorridor {
+		c.corridors = append(c.corridors, key)
+	}
+	sort.Slice(c.corridors, func(i, j int) bool {
+		if c.corridors[i].A != c.corridors[j].A {
+			return c.corridors[i].A < c.corridors[j].A
+		}
+		return c.corridors[i].B < c.corridors[j].B
+	})
+	c.countries = make([]string, 0, len(seenCC))
+	for cc := range seenCC {
+		c.countries = append(c.countries, cc)
+	}
+	sort.Strings(c.countries)
+	return c
+}
+
+// Results returns the backing campaign results.
+func (c *ResultCatalog) Results() *Results { return c.res }
+
+// Corridors returns every observed corridor, sorted; the slice is the
+// catalog's own and must not be mutated.
+func (c *ResultCatalog) Corridors() []Corridor { return c.corridors }
+
+// Countries returns the sorted endpoint countries observed; the slice
+// is the catalog's own and must not be mutated.
+func (c *ResultCatalog) Countries() []string { return c.countries }
+
+// Indices returns the observation indices for the (order-insensitive)
+// country pair, in emission order — ascending round, then the
+// deterministic within-round pair order. Nil when the corridor was
+// never observed. The slice is the catalog's own and must not be
+// mutated.
+func (c *ResultCatalog) Indices(ccA, ccB string) []int32 {
+	return c.byCorridor[CorridorOf(ccA, ccB)]
+}
+
+// Observation returns the i-th observation of the backing results.
+func (c *ResultCatalog) Observation(i int32) *Observation {
+	return &c.res.Observations[i]
+}

@@ -1,0 +1,86 @@
+package measure
+
+import (
+	"testing"
+)
+
+func TestCorridorOfNormalizes(t *testing.T) {
+	if CorridorOf("JP", "DE") != (Corridor{A: "DE", B: "JP"}) {
+		t.Fatalf("CorridorOf not normalized: %+v", CorridorOf("JP", "DE"))
+	}
+	if CorridorOf("DE", "JP") != CorridorOf("JP", "DE") {
+		t.Fatal("CorridorOf is order-sensitive")
+	}
+}
+
+// TestCatalogMatchesScan pins the catalog to the brute-force scan it
+// replaces: every corridor's index list must reproduce exactly the
+// observations a full scan finds for that country pair, in emission
+// order.
+func TestCatalogMatchesScan(t *testing.T) {
+	_, res := testCampaign(t)
+	cat := NewResultCatalog(res)
+
+	if len(cat.Corridors()) == 0 {
+		t.Fatal("no corridors indexed")
+	}
+
+	// Every observation is indexed exactly once.
+	total := 0
+	for _, key := range cat.Corridors() {
+		total += len(cat.Indices(key.A, key.B))
+	}
+	if total != len(res.Observations) {
+		t.Fatalf("catalog indexes %d observations, results hold %d", total, len(res.Observations))
+	}
+
+	for _, key := range cat.Corridors() {
+		var want []int32
+		for i := range res.Observations {
+			o := &res.Observations[i]
+			if CorridorOf(o.SrcCC, o.DstCC) == key {
+				want = append(want, int32(i))
+			}
+		}
+		got := cat.Indices(key.A, key.B)
+		if len(got) != len(want) {
+			t.Fatalf("corridor %v: %d indices, want %d", key, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("corridor %v index %d = %d, want %d (emission order broken)", key, i, got[i], want[i])
+			}
+		}
+		// Order-insensitive lookup.
+		rev := cat.Indices(key.B, key.A)
+		if len(rev) != len(got) {
+			t.Fatalf("corridor %v lookup is order-sensitive", key)
+		}
+	}
+
+	// Countries match the scan.
+	seen := make(map[string]bool)
+	for i := range res.Observations {
+		seen[res.Observations[i].SrcCC] = true
+		seen[res.Observations[i].DstCC] = true
+	}
+	ccs := cat.Countries()
+	if len(ccs) != len(seen) {
+		t.Fatalf("catalog has %d countries, scan found %d", len(ccs), len(seen))
+	}
+	for i, cc := range ccs {
+		if !seen[cc] {
+			t.Fatalf("catalog country %q never observed", cc)
+		}
+		if i > 0 && ccs[i-1] >= cc {
+			t.Fatalf("countries not sorted: %q >= %q", ccs[i-1], cc)
+		}
+	}
+
+	if cat.Indices("ZZ", "XX") != nil {
+		t.Fatal("unknown corridor returned indices")
+	}
+	if cat.Results() != res {
+		t.Fatal("Results accessor lost the backing results")
+	}
+}

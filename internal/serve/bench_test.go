@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+)
+
+// BenchmarkServeQuery drives /v1/relays/best over a warm cache,
+// rotating through every corridor the campaign observed. Beyond the
+// standard ns/op it reports the two numbers the service contract cares
+// about: sustained qps and p99 request latency.
+func BenchmarkServeQuery(b *testing.B) {
+	s, err := New(Options{Seed: 1, Rounds: 2, SmallWorld: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Warm(); err != nil {
+		b.Fatal(err)
+	}
+	h := s.Handler()
+
+	urls := make([]string, 0, len(s.st().catalog.Corridors()))
+	for _, c := range s.st().catalog.Corridors() {
+		urls = append(urls, "/v1/relays/best?src="+c.A+"&dst="+c.B)
+	}
+	// Prime the render cache so the loop measures steady-state serving.
+	for _, u := range urls {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, u, nil))
+		if w.Code != http.StatusOK {
+			b.Fatalf("warm-up %s = %d", u, w.Code)
+		}
+	}
+
+	lat := make([]time.Duration, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, urls[i%len(urls)], nil))
+		lat[i] = time.Since(t0)
+		if w.Code != http.StatusOK {
+			b.Fatalf("query %d = %d", i, w.Code)
+		}
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p99 := lat[min(len(lat)-1, len(lat)*99/100)]
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "qps")
+	b.ReportMetric(float64(p99.Nanoseconds()), "p99-ns")
+}

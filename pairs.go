@@ -23,15 +23,14 @@ type PairObservation struct {
 
 // ObservationsBetween returns the campaign's observations for a country
 // pair (order-insensitive), each annotated with the overall best relay.
-// The slice is sorted by descending improvement.
+// The slice is sorted by descending improvement. Lookups resolve
+// through the corridor index (measure.ResultCatalog), built once per
+// Results, so each call touches only the corridor's own observations.
 func (r *Results) ObservationsBetween(ccA, ccB string) []PairObservation {
 	cat := r.res.World.Catalog
 	var out []PairObservation
-	for i := range r.res.Observations {
+	for _, i := range r.catalog().Indices(ccA, ccB) {
 		o := &r.res.Observations[i]
-		if !(o.SrcCC == ccA && o.DstCC == ccB) && !(o.SrcCC == ccB && o.DstCC == ccA) {
-			continue
-		}
 		po := PairObservation{
 			Round:    o.Round,
 			SrcCC:    o.SrcCC,
@@ -62,17 +61,8 @@ func (r *Results) ObservationsBetween(ccA, ccB string) []PairObservation {
 	return out
 }
 
-// Countries returns the endpoint countries observed in the campaign.
+// Countries returns the endpoint countries observed in the campaign,
+// sorted.
 func (r *Results) Countries() []string {
-	seen := make(map[string]bool)
-	for i := range r.res.Observations {
-		seen[r.res.Observations[i].SrcCC] = true
-		seen[r.res.Observations[i].DstCC] = true
-	}
-	out := make([]string, 0, len(seen))
-	for cc := range seen {
-		out = append(out, cc)
-	}
-	sort.Strings(out)
-	return out
+	return append([]string(nil), r.catalog().Countries()...)
 }

@@ -2,6 +2,7 @@ package shortcuts
 
 import (
 	"io"
+	"sync"
 
 	"shortcuts/internal/analysis"
 	"shortcuts/internal/measure"
@@ -13,6 +14,18 @@ import (
 // artifact. Latencies are milliseconds; fractions are in [0, 1].
 type Results struct {
 	res *measure.Results
+
+	// catOnce lazily builds the corridor index behind ObservationsBetween
+	// and Countries, so repeated corridor queries cost one map probe
+	// instead of a full observation scan each.
+	catOnce sync.Once
+	cat     *measure.ResultCatalog
+}
+
+// catalog returns the lazily-built corridor index over the results.
+func (r *Results) catalog() *measure.ResultCatalog {
+	r.catOnce.Do(func() { r.cat = measure.NewResultCatalog(r.res) })
+	return r.cat
 }
 
 // Pairs returns the number of (endpoint pair, round) observations with a

@@ -31,7 +31,13 @@
 #   over a ~100k-endpoint world and records the derived endpoints/sec
 #   throughput alongside ns/op; the 1M tier is opt-in via
 #   SHORTCUTS_BENCH_1M=1 (the world build alone is ~10x the 100k
-#   tier's). The world-build benchmarks (BenchmarkWorldBuild, including
+#   tier's). The serve-query benchmark (BenchmarkServeQuery,
+#   internal/serve) drives /v1/relays/best over a warm render cache at a
+#   pinned iteration count and reports sustained qps plus p99 request
+#   latency (p99-ns) alongside ns/op — the two numbers the relayserve
+#   contract cares about; in compare mode a qps DROP beyond the
+#   threshold is the regression, like endpoints_per_sec for the scale
+#   tiers. The world-build benchmarks (BenchmarkWorldBuild, including
 #   the scale-100k build tier) run at one iteration and land in the JSON
 #   alongside the round benchmarks, so build-time and round-time deltas
 #   live in the same artifact. When the BENCH_BEFORE file exists
@@ -77,25 +83,31 @@ parse_bench() {
         sub(/-[0-9]+$/, "", name)
         iters = $2
         ns = "null"; bytes = "null"; allocs = "null"; eps = "null"
+        qps = "null"; p99 = "null"
         for (i = 3; i < NF; i++) {
             if ($(i + 1) == "ns/op") ns = $i
             else if ($(i + 1) == "B/op") bytes = $i
             else if ($(i + 1) == "allocs/op") allocs = $i
             else if ($(i + 1) == "endpoints/sec") eps = $i
+            else if ($(i + 1) == "qps") qps = $i
+            else if ($(i + 1) == "p99-ns") p99 = $i
         }
         if (n++) printf(",\n")
         printf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s", \
                name, iters, ns, bytes, allocs)
         if (eps != "null") printf(", \"endpoints_per_sec\": %s", eps)
+        if (qps != "null") printf(", \"qps\": %s", qps)
+        if (p99 != "null") printf(", \"p99_ns\": %s", p99)
         printf("}")
     }
     END { if (n) printf("\n") }
     ' "$1"
 }
 
-# extract_after pulls "name ns_per_op endpoints_per_sec" triples out of
-# a bench JSON's "after" section (the live-run numbers);
-# endpoints_per_sec is "null" for benchmarks that do not report it.
+# extract_after pulls "name ns_per_op endpoints_per_sec qps" rows out
+# of a bench JSON's "after" section (the live-run numbers);
+# endpoints_per_sec and qps are "null" for benchmarks that do not
+# report them.
 extract_after() {
     awk '
     /"after"/ { in_after = 1; next }
@@ -109,7 +121,12 @@ extract_after() {
             line = $0
             sub(/.*"endpoints_per_sec": /, "", line); eps = line; sub(/[,}].*/, "", eps)
         }
-        if (ns != "null" && name != "") print name, ns, eps
+        qps = "null"
+        if ($0 ~ /"qps"/) {
+            line = $0
+            sub(/.*"qps": /, "", line); qps = line; sub(/[,}].*/, "", qps)
+        }
+        if (ns != "null" && name != "") print name, ns, eps, qps
     }
     ' "$1"
 }
@@ -124,21 +141,28 @@ compare() {
     extract_after "$old" > "$oldvals"
     extract_after "$new" > "$newvals"
 
-    echo "== bench compare: $new vs baseline $old (fail > ${threshold}% ns/op or endpoints/sec regression) =="
+    echo "== bench compare: $new vs baseline $old (fail > ${threshold}% ns/op or throughput regression) =="
     awk -v threshold="$threshold" '
-    NR == FNR { base[$1] = $2; baseeps[$1] = $3; next }
+    NR == FNR { base[$1] = $2; baseeps[$1] = $3; baseqps[$1] = $4; next }
     {
         if ($1 in base) {
             ratio = 100 * ($2 - base[$1]) / base[$1]
             verdict = "ok"
             if (ratio > threshold) { verdict = "REGRESSED"; failed = 1 }
             printf("%-40s %14.1f -> %14.1f ns/op  %+7.1f%%  %s\n", $1, base[$1], $2, ratio, verdict)
-            # Throughput metric (scale tiers): a drop is the regression.
+            # Throughput metrics (scale tiers, serve query): a drop is
+            # the regression.
             if ($3 != "null" && baseeps[$1] != "null" && baseeps[$1] + 0 > 0) {
                 eratio = 100 * ($3 - baseeps[$1]) / baseeps[$1]
                 everdict = "ok"
                 if (eratio < -threshold) { everdict = "REGRESSED"; failed = 1 }
                 printf("%-40s %14.1f -> %14.1f endpoints/sec  %+7.1f%%  %s\n", $1, baseeps[$1], $3, eratio, everdict)
+            }
+            if ($4 != "null" && baseqps[$1] != "null" && baseqps[$1] + 0 > 0) {
+                qratio = 100 * ($4 - baseqps[$1]) / baseqps[$1]
+                qverdict = "ok"
+                if (qratio < -threshold) { qverdict = "REGRESSED"; failed = 1 }
+                printf("%-40s %14.1f -> %14.1f qps  %+7.1f%%  %s\n", $1, baseqps[$1], $4, qratio, qverdict)
             }
             seen[$1] = 1
             shared++
@@ -187,6 +211,7 @@ SWEEP_BENCH='BenchmarkSweep'
 MEASURE_BENCH='BenchmarkCampaignRoundSteadyState|BenchmarkFeasibilityFilter'
 PIPELINE_BENCH='BenchmarkCampaignRoundPipelined'
 SCALE_BENCH='BenchmarkMillionEndpointRound'
+SERVE_BENCH='BenchmarkServeQuery'
 
 # Optional pprof capture: BENCH_PROFILE_DIR adds -cpuprofile/-memprofile
 # to the campaign-level runs (one profile pair per invocation). The test
@@ -225,6 +250,9 @@ go test -run '^$' -bench "$PIPELINE_BENCH" -benchtime=1x -benchmem ./internal/me
 
 echo "== scale-tier benchmark (100k-endpoint sampled round; SHORTCUTS_BENCH_1M=1 adds 1M) ==" >&2
 go test -run '^$' -bench "$SCALE_BENCH" -benchtime=1x -benchmem -timeout 40m ./internal/measure/ | tee -a "$raw" >&2
+
+echo "== serve query benchmark (warm-cache /v1/relays/best; pinned 100k requests for stable qps/p99) ==" >&2
+go test -run '^$' -bench "$SERVE_BENCH" -benchtime=100000x -benchmem ./internal/serve/ | tee -a "$raw" >&2
 
 {
     echo '{'

@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# End-to-end gate for the relayserve service: build the binary, boot it
+# against the small world, wait for readiness, exercise the query and
+# resource endpoints, hot-swap the serving world, and verify the swap
+# took. Any non-200, bad JSON, or timeout fails the script (and the CI
+# job that runs it).
+#
+# Usage: scripts/e2e_serve.sh
+# Env:   E2E_ROUNDS (default 2)  warm-campaign rounds for the boot world
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ROUNDS="${E2E_ROUNDS:-2}"
+WORKDIR="$(mktemp -d)"
+BIN="$WORKDIR/relayserve"
+LOG="$WORKDIR/serve.log"
+PID=""
+
+cleanup() {
+  if [ -n "$PID" ] && kill -0 "$PID" 2>/dev/null; then
+    kill "$PID" 2>/dev/null || true
+    wait "$PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "e2e-serve: FAIL: $*" >&2
+  echo "--- server log ---" >&2
+  cat "$LOG" >&2 || true
+  exit 1
+}
+
+echo "e2e-serve: building cmd/relayserve"
+go build -o "$BIN" ./cmd/relayserve
+
+# Port 0: the kernel picks a free port and the server prints it on
+# stdout as "relayserve: listening on http://HOST:PORT".
+"$BIN" -small -rounds "$ROUNDS" -addr 127.0.0.1:0 >"$LOG" 2>&1 &
+PID=$!
+
+ADDR=""
+for _ in $(seq 1 50); do
+  ADDR="$(sed -n 's#^relayserve: listening on http://##p' "$LOG" | head -n 1)"
+  [ -n "$ADDR" ] && break
+  kill -0 "$PID" 2>/dev/null || fail "server exited before binding"
+  sleep 0.2
+done
+[ -n "$ADDR" ] || fail "server never printed its listen address"
+BASE="http://$ADDR"
+echo "e2e-serve: server up at $BASE (pid $PID)"
+
+# Readiness: /healthz must answer immediately; /readyz flips to 200
+# when the warm campaign publishes. 60s is ~100x the small-world build.
+curl -fsS "$BASE/healthz" >/dev/null || fail "/healthz refused while building"
+READY=""
+for _ in $(seq 1 300); do
+  if curl -fsS "$BASE/readyz" >/dev/null 2>&1; then READY=1; break; fi
+  kill -0 "$PID" 2>/dev/null || fail "server died during warm-up"
+  sleep 0.2
+done
+[ -n "$READY" ] || fail "/readyz never turned 200 within 60s"
+echo "e2e-serve: ready"
+
+# get PATH [JQ_ASSERT]: curl an endpoint, require 200 + valid JSON, and
+# optionally require a python expression over the parsed body (bound to
+# j) to be truthy.
+get() {
+  local path="$1" assert="${2:-True}" body
+  body="$(curl -fsS "$BASE$path")" || fail "GET $path did not return 200"
+  python3 -c '
+import json, sys
+j = json.loads(sys.stdin.read())
+assert eval(sys.argv[1]), f"assertion {sys.argv[1]!r} failed on {j!r}"
+' "$assert" <<<"$body" || fail "GET $path: bad JSON or failed assertion: $assert"
+  printf '%s' "$body"
+}
+
+# Resource endpoints answer with populated listings.
+get "/v1/facilities" 'j["count"] > 0 and len(j["facilities"]) == j["count"]' >/dev/null
+echo "e2e-serve: /v1/facilities ok"
+get "/v1/relays?limit=5" 'j["count"] > 0 and len(j["relays"]) == 5' >/dev/null
+echo "e2e-serve: /v1/relays ok"
+
+# Pick a measured corridor from the plan listing, then query it.
+PLANS="$(get "/v1/plans?limit=1" 'j["count"] > 0 and j["seed"] == 1')"
+SRC="$(python3 -c 'import json,sys; print(json.load(sys.stdin)["plans"][0]["src"])' <<<"$PLANS")"
+DST="$(python3 -c 'import json,sys; print(json.load(sys.stdin)["plans"][0]["dst"])' <<<"$PLANS")"
+echo "e2e-serve: querying corridor $SRC-$DST"
+get "/v1/relays/best?src=$SRC&dst=$DST" \
+  'j["seed"] == 1 and j["plan"]["src"] == "'"$SRC"'" and j["plan"]["observations"] > 0' >/dev/null
+echo "e2e-serve: /v1/relays/best ok (seed 1)"
+
+# Hot swap to seed 2 and verify the next answer serves the new world.
+SWAP="$(curl -fsS -X POST "$BASE/v1/admin/swap?seed=2")" || fail "POST /v1/admin/swap did not return 200"
+python3 -c '
+import json, sys
+j = json.loads(sys.stdin.read())
+assert j["swapped"] is True and j["state"]["seed"] == 2, j
+' <<<"$SWAP" || fail "swap response malformed: $SWAP"
+echo "e2e-serve: swap to seed 2 ok"
+
+get "/readyz" 'j["ready"] is True and j["seed"] == 2' >/dev/null
+PLANS2="$(get "/v1/plans?limit=1" 'j["count"] > 0 and j["seed"] == 2')"
+SRC2="$(python3 -c 'import json,sys; print(json.load(sys.stdin)["plans"][0]["src"])' <<<"$PLANS2")"
+DST2="$(python3 -c 'import json,sys; print(json.load(sys.stdin)["plans"][0]["dst"])' <<<"$PLANS2")"
+get "/v1/relays/best?src=$SRC2&dst=$DST2" 'j["seed"] == 2' >/dev/null
+echo "e2e-serve: post-swap query serves seed 2"
+
+echo "e2e-serve: PASS"
