@@ -39,6 +39,7 @@ func main() {
 		scale  = flag.Int("scale", 0, "grow worlds to roughly this many responsive endpoints (requires -pairbudget; incompatible with -small)")
 		budget = flag.Int("pairbudget", 0, "endpoint pairs measured per warm-campaign round: 0 = exhaustive")
 		small  = flag.Bool("small", false, "serve the reduced world (fast boot: tests, CI smoke)")
+		heal   = flag.Bool("selfheal", false, "self-heal warm campaigns: confirmed disruptions exclude the suspect city's relays and re-plan (detection is always on; see GET /v1/disruptions)")
 	)
 	flag.Parse()
 
@@ -50,6 +51,7 @@ func main() {
 		SmallWorld:     *small,
 		ScaleEndpoints: *scale,
 		PairBudget:     *budget,
+		SelfHeal:       *heal,
 		Logf:           logger.Printf,
 	})
 	if err != nil {

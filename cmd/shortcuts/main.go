@@ -39,6 +39,7 @@ func main() {
 		budget  = flag.Int("pairbudget", 0, "endpoint pairs measured per round: 0 = exhaustive n*(n-1)/2, a positive budget switches to deterministic stratified sampling")
 		scale   = flag.Int("scale", 0, "grow the world to roughly this many responsive endpoints and run the scale-tier campaign path (requires -pairbudget; incompatible with -small)")
 		scen    = flag.String("scenario", "", "dynamic-world scenario the campaign runs under: "+strings.Join(shortcuts.ScenarioNames(), "|")+" (empty = static world)")
+		heal    = flag.Bool("selfheal", false, "attach the online disruption detector and self-heal: confirmed events exclude the suspect city's relays and re-plan mid-campaign (detected events print after the run)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -52,13 +53,17 @@ func main() {
 	if err := validateFlags(*rounds, *par, *pipe, *budget, *scale, *small); err != nil {
 		fatal(err)
 	}
+	if err := validateSelfHeal(*heal, *seeds, *pipe); err != nil {
+		fatal(err)
+	}
 	if err := startProfiles(*cpuProf, *memProf); err != nil {
 		fatal(err)
 	}
 	defer stopProfiles()
 
 	cfg := shortcuts.Config{Seed: *seed, Rounds: *rounds, SmallWorld: *small,
-		RoundPipeline: *pipe, PairBudget: *budget, ScaleEndpoints: *scale}
+		RoundPipeline: *pipe, PairBudget: *budget, ScaleEndpoints: *scale,
+		SelfHeal: *heal}
 	if *scen != "" {
 		sc, err := shortcuts.ScenarioByName(*scen)
 		if err != nil {
@@ -99,6 +104,9 @@ func main() {
 		if ri.RelaysChurned > 0 {
 			churn = fmt.Sprintf(", %d relays churned out", ri.RelaysChurned)
 		}
+		if ri.RelaysHealed > 0 {
+			churn += fmt.Sprintf(", %d relays healed out", ri.RelaysHealed)
+		}
 		fmt.Printf("round %d/%d: %d endpoints, %d/%d pairs usable, %d pings%s\n",
 			ri.Round+1, *rounds, ri.Endpoints, ri.PairsUsable, ri.PairsAttempted, ri.PingsSent, churn)
 	}
@@ -118,6 +126,7 @@ func main() {
 		if err := stats.WriteSummary(os.Stdout); err != nil {
 			fatal(err)
 		}
+		printDisruptions(campaign)
 		return
 	}
 
@@ -159,6 +168,51 @@ func main() {
 		}
 		fmt.Printf("\nfigure CSVs written to %s\n", *out)
 	}
+	printDisruptions(campaign)
+}
+
+// printDisruptions reports the self-heal detector's findings after a
+// campaign; silent when SelfHeal was off or nothing was detected.
+func printDisruptions(c *shortcuts.Campaign) {
+	evs := c.Disruptions()
+	if len(evs) == 0 {
+		return
+	}
+	fmt.Printf("\n== Disruptions detected (%d) ==\n", len(evs))
+	for _, ev := range evs {
+		state := fmt.Sprintf("closed round %d", ev.EndRound)
+		if ev.Active() {
+			state = "still active at campaign end"
+		}
+		where := ev.City
+		if where == "" {
+			where = ev.Continent
+		}
+		fmt.Printf("#%d %-10s %s (%s): onset round %d, confirmed %d, %s; %d corridors",
+			ev.ID, ev.Kind, where, ev.Facility, ev.OnsetRound, ev.ConfirmedRound, state, len(ev.Corridors))
+		if ev.Severity > 0 {
+			fmt.Printf(", severity %.2fx", ev.Severity)
+		}
+		if ev.DarkCorridors > 0 {
+			fmt.Printf(", %d dark", ev.DarkCorridors)
+		}
+		fmt.Println()
+	}
+}
+
+// validateSelfHeal rejects flag combinations the self-heal loop cannot
+// honor, with errors that explain the feedback edge.
+func validateSelfHeal(heal bool, seeds string, pipeline int) error {
+	if !heal {
+		return nil
+	}
+	if seeds != "" {
+		return fmt.Errorf("-selfheal applies to a single campaign; drop -seeds (sweep campaigns share nothing, so each would heal alone anyway)")
+	}
+	if pipeline > 1 {
+		return fmt.Errorf("-selfheal runs rounds sequentially (round r's detections shape round r+1); drop -pipeline %d", pipeline)
+	}
+	return nil
 }
 
 // validateFlags rejects nonsensical flag combinations up front, before

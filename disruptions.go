@@ -1,0 +1,116 @@
+package shortcuts
+
+import (
+	"shortcuts/internal/detect"
+	"shortcuts/internal/measure"
+)
+
+// DisruptionKind classifies a detected disruption event.
+type DisruptionKind string
+
+const (
+	// DisruptionRTTSpike is a localized latency inflation: corridors
+	// through one city got sustainably slower but still answer.
+	DisruptionRTTSpike DisruptionKind = "rtt-spike"
+	// DisruptionBlackhole is a localized reachability loss: corridors
+	// through one city stopped producing usable observations.
+	DisruptionBlackhole DisruptionKind = "blackhole"
+	// DisruptionCongestion is a wide, continent-scoped slowdown with no
+	// single culprit city.
+	DisruptionCongestion DisruptionKind = "congestion"
+)
+
+// Corridor is an unordered country pair, the detector's tracking key.
+type Corridor struct {
+	A, B string // ISO country codes, A <= B
+}
+
+// DisruptionEvent is one disruption detected by a self-healing
+// campaign. OnsetRound is the first round of the sustained deviation;
+// ConfirmedRound is when the detector's sustain threshold fired;
+// EndRound is -1 while the event is still active at campaign end.
+// City and Facility name the localized culprit (empty for
+// continent-scoped congestion events).
+type DisruptionEvent struct {
+	ID             int
+	Kind           DisruptionKind
+	OnsetRound     int
+	ConfirmedRound int
+	EndRound       int
+	City           string
+	CC             string
+	Continent      string
+	Facility       string
+	FacilityPDB    int
+	// Corridors are the deviating corridors attributed to the event at
+	// confirmation time, sorted.
+	Corridors []Corridor
+	// Severity is the mean deviation ratio (round mean RTT over
+	// baseline median) across the event's slow corridors; 0 when every
+	// attributed corridor went dark instead.
+	Severity float64
+	// DarkCorridors counts attributed corridors that stopped producing
+	// observations entirely (the blackhole signature).
+	DarkCorridors int
+}
+
+// Active reports whether the event was still open when observed.
+func (e *DisruptionEvent) Active() bool { return e.EndRound < 0 }
+
+// Disruptions returns the events detected by a Config.SelfHeal
+// campaign, in confirmation order. It returns nil for campaigns built
+// without SelfHeal. Read it after Run/RunStream returns — the detector
+// is not safe for concurrent use while the campaign executes.
+func (c *Campaign) Disruptions() []DisruptionEvent {
+	if c.healer == nil {
+		return nil
+	}
+	return publicEvents(c.healer.Events())
+}
+
+func publicEvents(evs []detect.Event) []DisruptionEvent {
+	out := make([]DisruptionEvent, len(evs))
+	for i := range evs {
+		out[i] = publicEvent(&evs[i])
+	}
+	return out
+}
+
+func publicEvent(ev *detect.Event) DisruptionEvent {
+	return DisruptionEvent{
+		ID:             ev.ID,
+		Kind:           publicKind(ev.Kind),
+		OnsetRound:     ev.OnsetRound,
+		ConfirmedRound: ev.ConfirmedRound,
+		EndRound:       ev.EndRound,
+		City:           ev.City,
+		CC:             ev.CC,
+		Continent:      ev.Continent,
+		Facility:       ev.Facility,
+		FacilityPDB:    ev.FacilityPDB,
+		Corridors:      publicCorridors(ev.Corridors),
+		Severity:       ev.Severity,
+		DarkCorridors:  ev.DarkCorridors,
+	}
+}
+
+func publicKind(k detect.Kind) DisruptionKind {
+	switch k {
+	case detect.Blackhole:
+		return DisruptionBlackhole
+	case detect.Congestion:
+		return DisruptionCongestion
+	}
+	return DisruptionRTTSpike
+}
+
+func publicCorridors(cs []measure.Corridor) []Corridor {
+	if len(cs) == 0 {
+		return nil
+	}
+	out := make([]Corridor, len(cs))
+	for i, c := range cs {
+		out[i] = Corridor{A: c.A, B: c.B}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package shortcuts
+
+import (
+	"sync"
+	"testing"
+)
+
+var (
+	healWorldOnce sync.Once
+	healWorld     *World
+	healWorldErr  error
+)
+
+func selfHealWorld(t *testing.T) *World {
+	t.Helper()
+	healWorldOnce.Do(func() {
+		healWorld, healWorldErr = BuildWorld(Config{Seed: 17, SmallWorld: true})
+	})
+	if healWorldErr != nil {
+		t.Fatal(healWorldErr)
+	}
+	return healWorld
+}
+
+// TestDisruptionsNilWithoutSelfHeal pins the default: campaigns built
+// without SelfHeal report no disruption machinery at all.
+func TestDisruptionsNilWithoutSelfHeal(t *testing.T) {
+	w := selfHealWorld(t)
+	c, err := NewCampaignWith(w, Config{Seed: 17, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs := c.Disruptions(); evs != nil {
+		t.Fatalf("Disruptions() = %v before any run without SelfHeal", evs)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if evs := c.Disruptions(); evs != nil {
+		t.Fatalf("Disruptions() = %v without SelfHeal", evs)
+	}
+}
+
+// TestSelfHealPublicRoundTrip drives the whole loop through the public
+// API: a hub outage scenario plus SelfHeal must localize the hub city,
+// exclude its relays (visible as RelaysHealed in round callbacks), and
+// close the event after the outage window; the same config on a calm
+// world must stay silent.
+func TestSelfHealPublicRoundTrip(t *testing.T) {
+	w := selfHealWorld(t)
+	const rounds = 14
+	sc := NewScenario("hub0-outage").
+		WithHubOutage(0, 5.0/rounds, 12.0/rounds, 1.7, 0.08)
+
+	c, err := NewCampaignWith(w, Config{
+		Seed: 17, Rounds: rounds, Scenario: sc, SelfHeal: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	healed := 0
+	if _, err := c.RunStream(RoundProgressSink(func(ri RoundInfo) {
+		healed += ri.RelaysHealed
+	})); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := c.Disruptions()
+	if len(evs) == 0 {
+		t.Fatal("hub outage campaign detected no disruptions")
+	}
+	ev := evs[0]
+	if ev.City == "" || ev.CC == "" || ev.Facility == "" {
+		t.Fatalf("event not localized: %+v", ev)
+	}
+	if ev.ConfirmedRound < 5 || ev.ConfirmedRound > 8 {
+		t.Fatalf("ConfirmedRound = %d, want within a few rounds of onset 5", ev.ConfirmedRound)
+	}
+	if ev.Active() {
+		t.Fatalf("event still active at campaign end: %+v", ev)
+	}
+	if len(ev.Corridors) == 0 {
+		t.Fatal("event carries no affected corridors")
+	}
+	if healed == 0 {
+		t.Fatal("self-healing excluded no relays over the outage campaign")
+	}
+
+	calm, err := NewCampaignWith(w, Config{Seed: 17, Rounds: rounds, SelfHeal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := calm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if evs := calm.Disruptions(); len(evs) != 0 {
+		t.Fatalf("calm self-heal campaign reported false positives: %+v", evs)
+	}
+}

@@ -1,0 +1,97 @@
+package detect
+
+import (
+	"testing"
+
+	"shortcuts/internal/measure"
+	"shortcuts/internal/scenario"
+)
+
+// captureStream records a short campaign's raw stream so Emit can be
+// replayed against a warmed detector without re-running the engine.
+type captureStream struct {
+	obs    []measure.Observation
+	rounds []measure.RoundInfo
+}
+
+func (c *captureStream) Emit(o measure.Observation)       { c.obs = append(c.obs, o) }
+func (c *captureStream) RoundDone(info measure.RoundInfo) { c.rounds = append(c.rounds, info) }
+
+func captureCampaign(t testing.TB, rounds int) (*Detector, *captureStream) {
+	t.Helper()
+	w := buildWorld(t, 17, 0)
+	cs := &captureStream{}
+	cfg := measure.QuickConfig(rounds)
+	cfg.Scenario = scenario.Calm()
+	if err := measure.RunStream(w, cfg, cs); err != nil {
+		t.Fatal(err)
+	}
+	det := New(w, Options{})
+	// Warm the detector over the whole capture once: every corridor's
+	// tracking record exists afterwards, which is the steady state the
+	// zero-alloc claim is about.
+	replay(det, cs)
+	return det, cs
+}
+
+func replay(det *Detector, cs *captureStream) {
+	ri := 0
+	for _, o := range cs.obs {
+		for ri < len(cs.rounds) && cs.rounds[ri].Round < o.Round {
+			det.RoundDone(cs.rounds[ri])
+			ri++
+		}
+		det.Emit(o)
+	}
+	for ; ri < len(cs.rounds); ri++ {
+		det.RoundDone(cs.rounds[ri])
+	}
+}
+
+// TestEmitSteadyStateAllocs pins the tentpole O(1)-memory claim at its
+// sharpest point: once a corridor is tracked, Emit never allocates.
+func TestEmitSteadyStateAllocs(t *testing.T) {
+	det, cs := captureCampaign(t, 6)
+	if len(cs.obs) == 0 {
+		t.Fatal("captured no observations")
+	}
+	batch := cs.obs
+	if len(batch) > 4096 {
+		batch = batch[:4096]
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := range batch {
+			det.Emit(batch[i])
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Emit allocated %.1f times per replayed batch, want 0", allocs)
+	}
+}
+
+// BenchmarkDetectSink measures the detector's per-observation overhead
+// on a steady-state stream — the cost a campaign pays to run detection
+// inline versus a null sink.
+func BenchmarkDetectSink(b *testing.B) {
+	det, cs := captureCampaign(b, 6)
+	if len(cs.obs) == 0 {
+		b.Fatal("captured no observations")
+	}
+	b.Run("emit", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			det.Emit(cs.obs[i%len(cs.obs)])
+		}
+	})
+	b.Run("round", func(b *testing.B) {
+		// One full round fold (RoundDone) per iteration, amortised over
+		// the tracked corridors.
+		info := cs.rounds[len(cs.rounds)-1]
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			det.RoundDone(info)
+		}
+	})
+}

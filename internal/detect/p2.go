@@ -1,0 +1,112 @@
+package detect
+
+// p2Median estimates a running median in O(1) memory with the P²
+// algorithm (Jain & Chlamtac, CACM 1985): five markers track the min,
+// the 25/50/75th percentile estimates and the max, adjusted by a
+// piecewise-parabolic interpolation on every new sample. Until five
+// samples have arrived the estimate is the exact median of the stored
+// prefix. Updates are pure float64 arithmetic over the sample sequence,
+// so equal input sequences produce bit-identical estimates — the
+// property the detector's determinism guarantee rides on.
+type p2Median struct {
+	n int        // samples absorbed
+	q [5]float64 // marker heights
+	p [5]int     // marker positions (1-based sample counts)
+}
+
+// add absorbs one sample.
+func (e *p2Median) add(x float64) {
+	if e.n < 5 {
+		// Initialization: insertion-sort the first five samples.
+		i := e.n
+		for i > 0 && e.q[i-1] > x {
+			e.q[i] = e.q[i-1]
+			i--
+		}
+		e.q[i] = x
+		e.n++
+		if e.n == 5 {
+			for j := range e.p {
+				e.p[j] = j + 1
+			}
+		}
+		return
+	}
+	// Locate the cell x falls into and bump the outer markers.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x < e.q[1]:
+		k = 0
+	case x < e.q[2]:
+		k = 1
+	case x < e.q[3]:
+		k = 2
+	case x <= e.q[4]:
+		k = 3
+	default:
+		e.q[4] = x
+		k = 3
+	}
+	for i := k + 1; i < 5; i++ {
+		e.p[i]++
+	}
+	e.n++
+	// Desired positions for quantiles {0, .25, .5, .75, 1} after n
+	// samples, and the interior-marker adjustment toward them.
+	nf := float64(e.n)
+	want := [5]float64{1, 1 + (nf-1)/4, 1 + (nf-1)/2, 1 + 3*(nf-1)/4, nf}
+	for i := 1; i <= 3; i++ {
+		d := want[i] - float64(e.p[i])
+		if (d >= 1 && e.p[i+1]-e.p[i] > 1) || (d <= -1 && e.p[i-1]-e.p[i] < -1) {
+			s := 1
+			if d < 0 {
+				s = -1
+			}
+			q := e.parabolic(i, s)
+			if e.q[i-1] < q && q < e.q[i+1] {
+				e.q[i] = q
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.p[i] += s
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction for moving
+// marker i by s (±1).
+func (e *p2Median) parabolic(i, s int) float64 {
+	sf := float64(s)
+	pi, pm, pp := float64(e.p[i]), float64(e.p[i-1]), float64(e.p[i+1])
+	return e.q[i] + sf/(pp-pm)*((pi-pm+sf)*(e.q[i+1]-e.q[i])/(pp-pi)+
+		(pp-pi-sf)*(e.q[i]-e.q[i-1])/(pi-pm))
+}
+
+// linear is the fallback height prediction when the parabola would
+// break marker monotonicity.
+func (e *p2Median) linear(i, s int) float64 {
+	return e.q[i] + float64(s)*(e.q[i+s]-e.q[i])/float64(e.p[i+s]-e.p[i])
+}
+
+// value returns the current median estimate; exact below five samples,
+// the P² middle marker beyond. Zero samples estimate zero.
+func (e *p2Median) value() float64 {
+	if e.n >= 5 {
+		return e.q[2]
+	}
+	switch e.n {
+	case 0:
+		return 0
+	default:
+		if e.n%2 == 1 {
+			return e.q[e.n/2]
+		}
+		return (e.q[e.n/2-1] + e.q[e.n/2]) / 2
+	}
+}
+
+// count returns the number of samples absorbed.
+func (e *p2Median) count() int { return e.n }

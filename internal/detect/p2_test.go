@@ -1,0 +1,52 @@
+package detect
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// lcg is a tiny deterministic generator so the test needs no seed
+// plumbing.
+type lcg uint64
+
+func (l *lcg) next() float64 {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return float64(*l>>11) / float64(1<<53)
+}
+
+func TestP2MedianExactBelowFive(t *testing.T) {
+	var m p2Median
+	for _, x := range []float64{5, 1, 9} {
+		m.add(x)
+	}
+	if got := m.value(); got != 5 {
+		t.Fatalf("median of {5,1,9} = %v, want 5", got)
+	}
+	m.add(2)
+	if got := m.value(); got != 3.5 {
+		t.Fatalf("median of {1,2,5,9} = %v, want 3.5", got)
+	}
+}
+
+func TestP2MedianTracksTrueMedian(t *testing.T) {
+	rng := lcg(17)
+	var m p2Median
+	var all []float64
+	for i := 0; i < 5000; i++ {
+		// Skewed: a log-normal-ish RTT shape via squaring.
+		u := rng.next()
+		x := 20 + 200*u*u
+		m.add(x)
+		all = append(all, x)
+	}
+	sort.Float64s(all)
+	truth := all[len(all)/2]
+	got := m.value()
+	if math.Abs(got-truth) > 0.05*truth {
+		t.Fatalf("P² median %v vs true median %v: off by more than 5%%", got, truth)
+	}
+	if m.count() != 5000 {
+		t.Fatalf("count = %d, want 5000", m.count())
+	}
+}

@@ -1,0 +1,237 @@
+package detect
+
+import (
+	"testing"
+
+	"shortcuts/internal/measure"
+	"shortcuts/internal/relays"
+	"shortcuts/internal/scenario"
+	"shortcuts/internal/sim"
+)
+
+// buildWorld builds the small test world once per (seed, shards).
+func buildWorld(t testing.TB, seed int64, shards int) *sim.World {
+	t.Helper()
+	wp := sim.SmallWorldParams(seed)
+	if shards > 0 {
+		wp.Latency.CacheShards = shards
+	}
+	w, err := sim.Build(wp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// runArm executes one campaign arm over w and returns its detector.
+// selfHeal wires the detector into the campaign's feedback loop;
+// otherwise it rides the stream as a passive monitor.
+func runArm(t testing.TB, w *sim.World, rounds int, sc *scenario.Scenario, opts Options, selfHeal bool) *Detector {
+	t.Helper()
+	det := New(w, opts)
+	cfg := measure.QuickConfig(rounds)
+	cfg.Scenario = sc
+	var sink measure.Sink = nopSink{}
+	if selfHeal {
+		cfg.SelfHeal = det
+	} else {
+		sink = det
+	}
+	if err := measure.RunStream(w, cfg, sink); err != nil {
+		t.Fatal(err)
+	}
+	return det
+}
+
+type nopSink struct{}
+
+func (nopSink) Emit(measure.Observation)    {}
+func (nopSink) RoundDone(measure.RoundInfo) {}
+
+// deliverySink measures, per round, the improvement the detector's
+// CURRENT plans deliver on a fixed target corridor set. It runs after
+// the detector in the sink chain (same goroutine), so reading the live
+// plan per observation is race-free and reflects re-plans exactly when
+// the campaign feels them.
+type deliverySink struct {
+	det    *Detector
+	target map[measure.Corridor]bool
+	ms     []float64 // improvement delivered by the arm's plan
+	best   []float64 // best achievable improvement that round
+	obs    []int
+}
+
+func (s *deliverySink) Emit(o measure.Observation) {
+	key := measure.CorridorOf(o.SrcCC, o.DstCC)
+	if !s.target[key] {
+		return
+	}
+	for len(s.ms) <= o.Round {
+		s.ms = append(s.ms, 0)
+		s.best = append(s.best, 0)
+		s.obs = append(s.obs, 0)
+	}
+	s.obs[o.Round]++
+	var bg float64
+	for t := 0; t < relays.NumTypes; t++ {
+		if g := o.ImprovementMs(relays.Type(t)); g > bg {
+			bg = g
+		}
+	}
+	s.best[o.Round] += bg
+	st := s.det.corr[key]
+	if st == nil || st.plan < 0 {
+		return
+	}
+	if g := deliveredGain(o.Improving, st.plan, o.DirectMs); g > 0 {
+		s.ms[o.Round] += float64(g)
+	}
+}
+func (s *deliverySink) RoundDone(measure.RoundInfo) {}
+
+// capture is the pooled fraction of the best achievable improvement the
+// arm's plans delivered over rounds [from, to).
+func (s *deliverySink) capture(from, to int) float64 {
+	var ms, best float64
+	for r := from; r < to && r < len(s.ms); r++ {
+		ms += s.ms[r]
+		best += s.best[r]
+	}
+	if best == 0 {
+		return 0
+	}
+	return ms / best
+}
+
+// runArmDelivery is runArm plus a delivery measurement over target
+// corridors against the arm's own evolving plans.
+func runArmDelivery(t testing.TB, w *sim.World, rounds int, sc *scenario.Scenario, opts Options, selfHeal bool, target map[measure.Corridor]bool) (*Detector, *deliverySink) {
+	t.Helper()
+	det := New(w, opts)
+	ds := &deliverySink{det: det, target: target}
+	cfg := measure.QuickConfig(rounds)
+	cfg.Scenario = sc
+	var sink measure.Sink = ds
+	if selfHeal {
+		cfg.SelfHeal = det
+	} else {
+		sink = measure.MultiSink(det, ds)
+	}
+	if err := measure.RunStream(w, cfg, sink); err != nil {
+		t.Fatal(err)
+	}
+	for len(ds.ms) < rounds {
+		ds.ms = append(ds.ms, 0)
+		ds.best = append(ds.best, 0)
+		ds.obs = append(ds.obs, 0)
+	}
+	return det, ds
+}
+
+// hubOutage is the round-trip injection: a clean IXP outage at the
+// world's busiest colo hub over [from, to).
+func hubOutage(from, to int) *scenario.Scenario {
+	return scenario.New("hub0-outage", scenario.IXPOutage{
+		City:          scenario.CityRef{HubRank: 0},
+		Window:        scenario.Window{FromRound: from, ToRound: to},
+		RerouteFactor: 1.7,
+		ExtraLoss:     0.08,
+	})
+}
+
+const (
+	rtRounds = 14
+	rtOnset  = 5
+	rtEnd    = 12
+)
+
+// TestCalmNoFalsePositives pins the zero-false-positive half of the
+// round-trip acceptance: the calm preset over the small world produces
+// no events at all.
+func TestCalmNoFalsePositives(t *testing.T) {
+	w := buildWorld(t, 17, 0)
+	det := runArm(t, w, rtRounds, scenario.Calm(), Options{}, false)
+	if evs := det.Events(); len(evs) != 0 {
+		t.Fatalf("calm campaign produced %d events, want 0: %+v", len(evs), evs)
+	}
+	if det.Corridors() == 0 {
+		t.Fatal("detector tracked no corridors; the stream never reached it")
+	}
+}
+
+// TestOutageRoundTrip is the acceptance round-trip: an injected hub
+// outage is detected, localized to the right city, within K rounds of
+// onset; the self-healed arm then recovers at least half of the
+// improvement the frozen plans lost.
+func TestOutageRoundTrip(t *testing.T) {
+	w := buildWorld(t, 17, 0)
+	sc := hubOutage(rtOnset, rtEnd)
+	hubCity := scenario.HubCities(w)[0]
+	wantCity := w.Topo.Cities[hubCity].Name
+
+	// Affected corridors: everything touching the hub's country. Fixed
+	// across arms so the three delivery series are comparable.
+	hubCC := w.Topo.Cities[hubCity].CC
+	target := make(map[measure.Corridor]bool)
+	for i := range w.Topo.Cities {
+		if cc := w.Topo.Cities[i].CC; cc != hubCC {
+			target[measure.CorridorOf(cc, hubCC)] = true
+		}
+	}
+
+	monitor, outDS := runArmDelivery(t, w, rtRounds, sc, Options{}, false, target)
+	evs := monitor.Events()
+	if len(evs) == 0 {
+		t.Fatal("outage campaign produced no events")
+	}
+	for i, ev := range evs {
+		t.Logf("event %d: kind=%s city=%q cc=%s facility=%q onset=%d confirmed=%d end=%d corridors=%d dark=%d severity=%.2f",
+			i, ev.Kind, ev.City, ev.CC, ev.Facility, ev.OnsetRound, ev.ConfirmedRound, ev.EndRound,
+			len(ev.Corridors), ev.DarkCorridors, ev.Severity)
+	}
+	first := evs[0]
+	if first.City != wantCity {
+		t.Errorf("first event localized %q, want hub city %q", first.City, wantCity)
+	}
+	const maxLag = 3 // K: rounds from onset to confirmation
+	if first.ConfirmedRound < rtOnset || first.ConfirmedRound > rtOnset+maxLag {
+		t.Errorf("event confirmed at round %d, want within %d rounds of onset %d",
+			first.ConfirmedRound, maxLag, rtOnset)
+	}
+	if first.Facility == "" {
+		t.Errorf("event carries no culprit facility")
+	}
+
+	_, calmDS := runArmDelivery(t, w, rtRounds, scenario.Calm(), Options{}, false, target)
+	healed, healDS := runArmDelivery(t, w, rtRounds, sc, Options{SelfHeal: true}, true, target)
+	healHist := healed.PlanHistory()
+
+	for r := 0; r < rtRounds; r++ {
+		t.Logf("round %2d: capture calm %.3f  outage %.3f  healed %.3f (healed excl=%d active=%d)",
+			r, calmDS.capture(r, r+1), outDS.capture(r, r+1), healDS.capture(r, r+1),
+			healHist[r].ExcludedRelays, healHist[r].ActiveEvents)
+	}
+
+	// Recovery window: from the round after confirmation (the first
+	// round the revised plan is in effect) to outage end. The metric is
+	// the capture ratio — the fraction of the best achievable relay
+	// improvement the arm's plans delivered on the affected corridors —
+	// which is scale-free and so immune to the outage's direct-path
+	// inflation: frozen plans pinned to the dead hub capture less, the
+	// re-planned arm recaptures.
+	from := first.ConfirmedRound + 1
+	calmCap := calmDS.capture(from, rtEnd)
+	outCap := outDS.capture(from, rtEnd)
+	healCap := healDS.capture(from, rtEnd)
+	lost := calmCap - outCap
+	recovered := healCap - outCap
+	t.Logf("window [%d,%d): capture calm=%.3f outage=%.3f healed=%.3f lost=%.3f recovered=%.3f (%.0f%%)",
+		from, rtEnd, calmCap, outCap, healCap, lost, recovered, 100*recovered/lost)
+	if lost <= 0 {
+		t.Fatalf("outage did not degrade plan capture (calm %.3f vs outage %.3f); the round-trip has nothing to recover", calmCap, outCap)
+	}
+	if recovered < 0.5*lost {
+		t.Errorf("self-heal recovered %.3f of %.3f lost capture (%.0f%%), want >= 50%%",
+			recovered, lost, 100*recovered/lost)
+	}
+}

@@ -83,6 +83,12 @@ func RunStream(w *sim.World, cfg Config, sink Sink) error {
 	if err != nil {
 		return err
 	}
+	if cfg.SelfHeal != nil {
+		// The controller sees each round before the caller's sink does,
+		// so by the time external observers learn round r finished, the
+		// exclusions for round r+1 are already decided.
+		sink = MultiSink(cfg.SelfHeal, sink)
+	}
 	if len(c.slots) > 1 {
 		return c.runPipelined(sink)
 	}
@@ -130,6 +136,13 @@ func newCampaign(w *sim.World, cfg Config) (*campaign, error) {
 	}
 	if depth > cfg.Rounds {
 		depth = cfg.Rounds
+	}
+	if cfg.SelfHeal != nil {
+		// Self-healing adds a feedback edge — round r's detections shape
+		// round r+1's feasibility — so rounds are no longer independent.
+		// Collapsing the pipeline keeps the stream identical at any
+		// requested depth instead of deadlocking on the dependency.
+		depth = 1
 	}
 	// One worker budget: an explicit Concurrency is per round, as ever;
 	// the GOMAXPROCS default is divided across the concurrent rounds so
@@ -511,11 +524,21 @@ func (c *campaign) roundExec(slot *roundSlot, round int, emit Sink, settleInline
 	// get legs measured, exactly as if the liveness checks had dropped
 	// them from the sample. livePos is the churn-mask intersection the
 	// per-pair loop iterates, in ascending (catalog) order.
+	// Self-heal exclusions ride the same masking: relays at a suspect
+	// facility's city are dropped from this round exactly like churned
+	// relays, per the controller's verdict on the rounds already seen.
+	var heal []bool
+	if c.cfg.SelfHeal != nil {
+		heal = c.cfg.SelfHeal.ExcludedRelays(round)
+	}
 	scr.livePos = scr.livePos[:0]
 	for pos, ri := range roundRelays {
-		if snap.RelayOut(ri) {
+		switch {
+		case snap.RelayOut(ri):
 			info.RelaysChurned++
-		} else {
+		case ri < len(heal) && heal[ri]:
+			info.RelaysHealed++
+		default:
 			scr.livePos = append(scr.livePos, int32(pos))
 		}
 	}

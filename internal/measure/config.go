@@ -81,6 +81,18 @@ type Config struct {
 	// filter only removes relays that cannot win) while measurement cost
 	// rises sharply.
 	DisableFeasibilityFilter bool
+	// SelfHeal, when non-nil, closes the inject→detect→re-plan loop:
+	// the controller is fed the campaign's own observation stream
+	// (before the caller's sink) and is consulted at each round start
+	// for relays to exclude from the feasibility filter — the same
+	// masking path scenario churn rides, so excluded relays neither
+	// count as feasible nor get legs measured. Because round r's
+	// detections shape round r+1's plan, self-healing campaigns run
+	// rounds strictly sequentially: RoundPipeline is clamped to 1 and
+	// the stream is identical at any requested depth. Nil (the
+	// default) changes nothing: calm and detection-off campaigns stay
+	// bit-identical to every golden digest.
+	SelfHeal SelfHealController
 	// FastAvailability switches the per-(probe, round) availability
 	// coins — the drafting responsiveness check and the window/relay
 	// liveness checks — from the seed-table-based rng.Rand family to the

@@ -78,6 +78,10 @@ type RoundInfo struct {
 	// RelaysChurned counts sampled relays removed this round by the
 	// scenario's churn events (skipped by the feasibility filter).
 	RelaysChurned int
+	// RelaysHealed counts sampled relays excluded this round by the
+	// self-heal controller (suspect-facility masking; see
+	// Config.SelfHeal). Always 0 when self-healing is off.
+	RelaysHealed int
 }
 
 // Results is the full campaign output. It is itself a Sink: Run wires

@@ -11,6 +11,23 @@ type Sink interface {
 	RoundDone(info RoundInfo)
 }
 
+// SelfHealController is the feedback half of a self-healing campaign
+// (Config.SelfHeal): a Sink that watches the emitted stream — RunStream
+// feeds it ahead of the caller's sink — plus a per-round relay
+// exclusion the campaign consults before executing each round.
+// Implemented by detect.Detector; the interface lives here so measure
+// needs no dependency on the detection layer.
+type SelfHealController interface {
+	Sink
+	// ExcludedRelays returns the catalog-indexed relay mask to exclude
+	// from the given round's feasibility filter (nil or short masks
+	// exclude nothing extra). The campaign guarantees RoundDone(r-1)
+	// has returned before ExcludedRelays(r) is called — self-healing
+	// campaigns run rounds strictly sequentially (RoundPipeline clamps
+	// to 1) because this feedback edge makes rounds dependent.
+	ExcludedRelays(round int) []bool
+}
+
 // MultiSink fans one observation stream out to several sinks, invoking
 // them in argument order.
 func MultiSink(sinks ...Sink) Sink { return multiSink(sinks) }

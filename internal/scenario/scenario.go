@@ -366,26 +366,38 @@ func (c *compileCtx) resolveCity(ref CityRef) (int, error) {
 		return 0, fmt.Errorf("unknown city %q", ref.Name)
 	}
 	if c.hubCities == nil {
-		type hub struct{ city, facs int }
-		hubs := make([]hub, 0, c.nc)
-		for i := 0; i < c.nc; i++ {
-			hubs = append(hubs, hub{city: i, facs: len(c.w.Topo.FacilitiesIn(i))})
-		}
-		sort.Slice(hubs, func(a, b int) bool {
-			if hubs[a].facs != hubs[b].facs {
-				return hubs[a].facs > hubs[b].facs
-			}
-			return hubs[a].city < hubs[b].city
-		})
-		c.hubCities = make([]int, len(hubs))
-		for i, h := range hubs {
-			c.hubCities[i] = h.city
-		}
+		c.hubCities = HubCities(c.w)
 	}
 	if ref.HubRank < 0 || ref.HubRank >= len(c.hubCities) {
 		return 0, fmt.Errorf("hub rank %d out of range (have %d cities)", ref.HubRank, len(c.hubCities))
 	}
 	return c.hubCities[ref.HubRank], nil
+}
+
+// HubCities ranks the world's cities by colocation-hub weight —
+// descending facility count, ascending city index breaking ties — the
+// exact order CityRef.HubRank indexes. Exported so consumers that need
+// the same ground truth (the disruption detector's round-trip tests
+// localize injected hub outages against it) cannot drift from the
+// compiler's ranking.
+func HubCities(w *sim.World) []int {
+	nc := len(w.Topo.Cities)
+	type hub struct{ city, facs int }
+	hubs := make([]hub, 0, nc)
+	for i := 0; i < nc; i++ {
+		hubs = append(hubs, hub{city: i, facs: len(w.Topo.FacilitiesIn(i))})
+	}
+	sort.Slice(hubs, func(a, b int) bool {
+		if hubs[a].facs != hubs[b].facs {
+			return hubs[a].facs > hubs[b].facs
+		}
+		return hubs[a].city < hubs[b].city
+	})
+	out := make([]int, len(hubs))
+	for i, h := range hubs {
+		out[i] = h.city
+	}
+	return out
 }
 
 func (c *compileCtx) citiesOn(continent string) []int {

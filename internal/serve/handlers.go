@@ -26,6 +26,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/facilities", s.handleFacilities)
 	mux.HandleFunc("GET /v1/facilities/{id}", s.handleFacilityShow)
 	mux.HandleFunc("GET /v1/plans", s.handlePlans)
+	mux.HandleFunc("GET /v1/disruptions", s.handleDisruptions)
 	mux.HandleFunc("POST /v1/admin/swap", s.handleSwap)
 	return mux
 }
@@ -78,6 +79,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 			"GET /v1/facilities?cc=&city=&name=&cloud=&top10=",
 			"GET /v1/facilities/{id}",
 			"GET /v1/plans?src=&dst=&improved=&limit=&offset=",
+			"GET /v1/disruptions?active=",
 			"POST /v1/admin/swap?seed=N&scenario=<name>",
 		},
 	})
@@ -87,14 +89,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
-// readyResponse is the /readyz body once a state serves.
+// readyResponse is the /readyz body once a state serves. Degraded means
+// the warm campaign ended with a disruption still active: the service
+// keeps answering (ready stays true, the status stays 200) but flags
+// that its plans were measured under duress, and — with self-healing on
+// — that they already route around the suspect city.
 type readyResponse struct {
-	Ready     bool      `json:"ready"`
-	Seed      int64     `json:"seed"`
-	Scenario  string    `json:"scenario"`
-	Corridors int       `json:"corridors"`
-	Rounds    int       `json:"rounds"`
-	BuiltAt   time.Time `json:"built_at"`
+	Ready             bool      `json:"ready"`
+	Degraded          bool      `json:"degraded,omitempty"`
+	ActiveDisruptions int       `json:"active_disruptions,omitempty"`
+	SelfHeal          bool      `json:"self_heal,omitempty"`
+	RelaysHealed      int       `json:"relays_healed,omitempty"`
+	Seed              int64     `json:"seed"`
+	Scenario          string    `json:"scenario"`
+	Corridors         int       `json:"corridors"`
+	Rounds            int       `json:"rounds"`
+	BuiltAt           time.Time `json:"built_at"`
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -103,13 +113,23 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ready": false})
 		return
 	}
+	active := 0
+	for i := range st.disruptions {
+		if st.disruptions[i].Active() {
+			active++
+		}
+	}
 	writeJSON(w, http.StatusOK, readyResponse{
-		Ready:     true,
-		Seed:      st.seed,
-		Scenario:  st.scenName,
-		Corridors: len(st.plans),
-		Rounds:    st.rounds,
-		BuiltAt:   st.builtAt,
+		Ready:             true,
+		Degraded:          st.degraded,
+		ActiveDisruptions: active,
+		SelfHeal:          st.selfHeal,
+		RelaysHealed:      st.relaysHealed,
+		Seed:              st.seed,
+		Scenario:          st.scenName,
+		Corridors:         len(st.plans),
+		Rounds:            st.rounds,
+		BuiltAt:           st.builtAt,
 	})
 }
 
@@ -420,6 +440,77 @@ func (s *Server) handlePlans(w http.ResponseWriter, r *http.Request) {
 		"scenario": st.scenName,
 		"count":    total,
 		"plans":    page(out, limit, offset),
+	})
+}
+
+// DisruptionInfo is one detected disruption event in API responses.
+type DisruptionInfo struct {
+	ID             int      `json:"id"`
+	Kind           string   `json:"kind"`
+	Active         bool     `json:"active"`
+	OnsetRound     int      `json:"onset_round"`
+	ConfirmedRound int      `json:"confirmed_round"`
+	EndRound       int      `json:"end_round"` // -1 while active
+	City           string   `json:"city,omitempty"`
+	CC             string   `json:"cc,omitempty"`
+	Continent      string   `json:"continent,omitempty"`
+	Facility       string   `json:"facility,omitempty"`
+	FacilityPDB    int      `json:"facility_pdb,omitempty"`
+	Corridors      []string `json:"corridors"` // "A-B" country pairs
+	Severity       float64  `json:"severity,omitempty"`
+	DarkCorridors  int      `json:"dark_corridors,omitempty"`
+}
+
+func (s *Server) handleDisruptions(w http.ResponseWriter, r *http.Request) {
+	st := s.st()
+	if notReady(w, st) {
+		return
+	}
+	activeOnly, activeSet, err := boolFilter(r.URL.Query().Get("active"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad active filter: %v", err)
+		return
+	}
+	activeCount := 0
+	out := []DisruptionInfo{}
+	for i := range st.disruptions {
+		ev := &st.disruptions[i]
+		if ev.Active() {
+			activeCount++
+		}
+		if activeSet && ev.Active() != activeOnly {
+			continue
+		}
+		corridors := make([]string, len(ev.Corridors))
+		for j, c := range ev.Corridors {
+			corridors[j] = c.A + "-" + c.B
+		}
+		out = append(out, DisruptionInfo{
+			ID:             ev.ID,
+			Kind:           ev.Kind.String(),
+			Active:         ev.Active(),
+			OnsetRound:     ev.OnsetRound,
+			ConfirmedRound: ev.ConfirmedRound,
+			EndRound:       ev.EndRound,
+			City:           ev.City,
+			CC:             ev.CC,
+			Continent:      ev.Continent,
+			Facility:       ev.Facility,
+			FacilityPDB:    ev.FacilityPDB,
+			Corridors:      corridors,
+			Severity:       ev.Severity,
+			DarkCorridors:  ev.DarkCorridors,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"seed":          st.seed,
+		"scenario":      st.scenName,
+		"self_heal":     st.selfHeal,
+		"degraded":      st.degraded,
+		"active":        activeCount,
+		"count":         len(out),
+		"disruptions":   out,
+		"relays_healed": st.relaysHealed,
 	})
 }
 

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"shortcuts/internal/core"
+	"shortcuts/internal/detect"
 	"shortcuts/internal/measure"
 	"shortcuts/internal/relays"
 	"shortcuts/internal/scenario"
@@ -58,6 +59,12 @@ type Options struct {
 	// Concurrency bounds the warm campaign's per-round worker pool
 	// (0 = GOMAXPROCS-derived).
 	Concurrency int
+	// SelfHeal closes the healing loop in warm campaigns: confirmed
+	// disruptions exclude the suspect city's relays and re-plan mid-
+	// campaign. Detection itself is always on — every state watches its
+	// warm campaign and serves the events on GET /v1/disruptions; this
+	// knob only controls whether plans route around them.
+	SelfHeal bool
 	// Logf, when set, receives one-line progress messages (world built,
 	// campaign done, swap published). Nil discards them.
 	Logf func(format string, args ...any)
@@ -120,6 +127,14 @@ type servingState struct {
 	scenName string
 	world    *sim.World
 	catalog  *measure.ResultCatalog
+
+	// disruptions are the warm campaign's detected events (confirmation
+	// order); degraded reports any still active when the campaign ended
+	// — the world is being served while a disruption persists.
+	disruptions  []detect.Event
+	degraded     bool
+	selfHeal     bool
+	relaysHealed int // total relay-round exclusions the healer applied
 
 	plans   []Plan                   // sorted by corridor (Src, Dst)
 	planIdx map[measure.Corridor]int // corridor -> index into plans
@@ -271,6 +286,12 @@ func (s *Server) buildState(seed int64, scenName string) (*servingState, error) 
 		mc.FastAvailability = true
 		mc.DailyCreditLimit = 0
 	}
+	// Every state watches its warm campaign with an online disruption
+	// detector; Options.SelfHeal additionally lets the detector exclude
+	// suspect relays and re-plan mid-campaign. In monitor mode the
+	// exclusion mask stays nil, so the observation stream is untouched.
+	det := detect.New(w, detect.Options{SelfHeal: s.opts.SelfHeal})
+	mc.SelfHeal = det
 	t1 := time.Now()
 	res := measure.NewResults(mc, w)
 	if err := measure.RunStream(w, mc, res); err != nil {
@@ -283,10 +304,24 @@ func (s *Server) buildState(seed int64, scenName string) (*servingState, error) 
 		scenName:    scenName,
 		world:       w,
 		catalog:     measure.NewResultCatalog(res),
+		disruptions: det.Events(),
+		selfHeal:    s.opts.SelfHeal,
 		builtAt:     time.Now(),
 		buildDur:    buildDur,
 		campaignDur: campaignDur,
 		rounds:      s.opts.Rounds,
+	}
+	for _, ev := range st.disruptions {
+		if ev.Active() {
+			st.degraded = true
+		}
+	}
+	for _, ps := range det.PlanHistory() {
+		st.relaysHealed += ps.ExcludedRelays
+	}
+	if n := len(st.disruptions); n > 0 {
+		s.logf("warm campaign seed %d detected %d disruption(s), degraded=%v healed=%d relay-rounds",
+			seed, n, st.degraded, st.relaysHealed)
 	}
 	st.buildPlans()
 	st.buildLookups()

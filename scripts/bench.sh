@@ -212,6 +212,7 @@ MEASURE_BENCH='BenchmarkCampaignRoundSteadyState|BenchmarkFeasibilityFilter'
 PIPELINE_BENCH='BenchmarkCampaignRoundPipelined'
 SCALE_BENCH='BenchmarkMillionEndpointRound'
 SERVE_BENCH='BenchmarkServeQuery'
+DETECT_BENCH='BenchmarkDetectSink'
 
 # Optional pprof capture: BENCH_PROFILE_DIR adds -cpuprofile/-memprofile
 # to the campaign-level runs (one profile pair per invocation). The test
@@ -253,6 +254,13 @@ go test -run '^$' -bench "$SCALE_BENCH" -benchtime=1x -benchmem -timeout 40m ./i
 
 echo "== serve query benchmark (warm-cache /v1/relays/best; pinned 100k requests for stable qps/p99) ==" >&2
 go test -run '^$' -bench "$SERVE_BENCH" -benchtime=100000x -benchmem ./internal/serve/ | tee -a "$raw" >&2
+
+echo "== disruption-detector benchmarks (per-observation emit + per-round fold) ==" >&2
+# The emit path must stay allocation-free in steady state (the invariant
+# is enforced by TestEmitSteadyStateAllocs in the test job; the number
+# recorded here is the ns/op overhead a detecting sink adds per
+# observation).
+go test -run '^$' -bench "$DETECT_BENCH" -benchmem ./internal/detect/ | tee -a "$raw" >&2
 
 {
     echo '{'

@@ -57,6 +57,7 @@ import (
 	"io"
 
 	"shortcuts/internal/core"
+	"shortcuts/internal/detect"
 	"shortcuts/internal/measure"
 	"shortcuts/internal/relays"
 )
@@ -121,6 +122,17 @@ type Config struct {
 	// Scenario, when non-nil, runs the campaign under a dynamic-world
 	// timeline (see Scenario); nil measures the calm, static world.
 	Scenario *Scenario
+	// SelfHeal attaches an online disruption detector to the campaign
+	// and closes the loop: on a confirmed event the suspect city's
+	// relays are excluded from the feasibility filter and the
+	// detector's corridor relay plans re-route onto the best surviving
+	// candidates, with cooldown and periodic re-probing of the masked
+	// city. Detected events are available from Campaign.Disruptions
+	// after the run. Self-healing campaigns run rounds strictly
+	// sequentially (round r's detections shape round r+1), so
+	// RoundPipeline is clamped to 1. Off (the default), campaigns are
+	// bit-identical to earlier releases.
+	SelfHeal bool
 }
 
 // DefaultConfig returns the paper's full campaign: the default world and
@@ -137,7 +149,8 @@ func QuickConfig(rounds int) Config {
 
 // Campaign is a built world plus a measurement schedule, ready to run.
 type Campaign struct {
-	inner *core.Campaign
+	inner  *core.Campaign
+	healer *detect.Detector // non-nil when Config.SelfHeal was set
 }
 
 // NewCampaign builds the synthetic world for the config and attaches

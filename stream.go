@@ -23,6 +23,7 @@ type RoundInfo struct {
 	PairsUsable    int // of those, pairs with a valid direct median
 	PingsSent      int64
 	RelaysChurned  int // sampled relays removed this round by scenario churn
+	RelaysHealed   int // sampled relays excluded this round by self-healing
 }
 
 // ImproveEntry records one relay that beat the direct path for a pair.
@@ -173,6 +174,7 @@ func publicRoundInfo(info measure.RoundInfo) RoundInfo {
 		PairsUsable:    info.PairsUsable,
 		PingsSent:      info.PingsSent,
 		RelaysChurned:  info.RelaysChurned,
+		RelaysHealed:   info.RelaysHealed,
 	}
 }
 

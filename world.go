@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"shortcuts/internal/core"
+	"shortcuts/internal/detect"
 	"shortcuts/internal/measure"
 	"shortcuts/internal/report"
 	"shortcuts/internal/sim"
@@ -89,7 +90,13 @@ func NewCampaignWith(w *World, cfg Config) (*Campaign, error) {
 		mc.FastAvailability = true
 		mc.DailyCreditLimit = 0
 	}
-	return &Campaign{inner: core.NewCampaignWith(w.inner, mc)}, nil
+	c := &Campaign{}
+	if cfg.SelfHeal {
+		c.healer = detect.New(w.inner, detect.Options{SelfHeal: true})
+		mc.SelfHeal = c.healer
+	}
+	c.inner = core.NewCampaignWith(w.inner, mc)
+	return c, nil
 }
 
 // World returns the world this campaign measures, for reuse by further
